@@ -1,0 +1,194 @@
+// dfexperiments regenerates every table and figure of the paper's
+// evaluation section in one run and writes the results as text (and
+// optionally CSV files for plotting):
+//
+//	Figure 2a/2b/2c — latency & throughput vs load, UN/ADV+1/ADVc, priority
+//	Figure 3        — latency breakdown, In-Trns-MM under ADVc
+//	Figure 4        — injections per router, ADVc @ 0.4, priority
+//	Table II        — fairness metrics, priority
+//	Figure 5a/5b/5c — as Figure 2, without priority
+//	Figure 6        — as Figure 4, without priority
+//	Table III       — fairness metrics, without priority
+//	Extension       — age-based arbitration (the paper's future work)
+//
+// By default it runs on a scaled-down balanced h=3 Dragonfly (342 nodes)
+// where every qualitative effect of the paper is visible in minutes; pass
+// -full for the paper's 5,256-node configuration (hours of CPU time).
+//
+// Usage:
+//
+//	dfexperiments -out results/ -seeds 3
+//	dfexperiments -full -out results-full/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dragonfly/internal/cli"
+	"dragonfly/internal/report"
+	"dragonfly/internal/router"
+	"dragonfly/internal/sweep"
+)
+
+var paperMechanisms = []string{
+	"MIN", "Obl-RRG", "Obl-CRG", "Src-RRG", "Src-CRG",
+	"In-Trns-RRG", "In-Trns-CRG", "In-Trns-MM",
+}
+
+var fairnessMechanisms = paperMechanisms[1:] // MIN is not part of Fig 4/6
+
+func main() {
+	fs := flag.NewFlagSet("dfexperiments", flag.ExitOnError)
+	build := cli.CommonFlags(fs)
+	out := fs.String("out", "", "directory for CSV outputs (empty: text only)")
+	seeds := fs.Int("seeds", 3, "seed replicas per point (paper: 3)")
+	loads := fs.String("loads", "0.05:0.6:0.05", "load range for the figure sweeps")
+	fairLoad := fs.Float64("fair-load", 0.4, "load for the fairness experiments (paper: 0.4)")
+	skipSweeps := fs.Bool("skip-sweeps", false, "skip the Figure 2/5 load sweeps (fairness only)")
+	jobs := fs.Int("jobs", 0, "concurrent simulations (0 = NumCPU)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	base, err := build()
+	if err != nil {
+		fatal(err)
+	}
+	loadList, err := cli.ParseLoads(*loads)
+	if err != nil {
+		fatal(err)
+	}
+	seedList := cli.ParseSeeds(base.Seed, *seeds)
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	start := time.Now()
+
+	if !*skipSweeps {
+		// Figures 2 and 5: three patterns × two arbitrations.
+		for _, exp := range []struct {
+			fig      string
+			arb      router.Arbitration
+			patterns []string
+		}{
+			{"fig2", router.TransitOverInjection, []string{"UN", "ADV+1", "ADVc"}},
+			{"fig5", router.RoundRobin, []string{"UN", "ADV+1", "ADVc"}},
+		} {
+			for i, pat := range exp.patterns {
+				cfg := base
+				cfg.Router.Arbitration = exp.arb
+				grid := sweep.Grid{
+					Base:       cfg,
+					Mechanisms: paperMechanisms,
+					Patterns:   []string{pat},
+					Loads:      loadList,
+					Seeds:      seedList,
+					Workers:    *jobs,
+				}
+				name := fmt.Sprintf("%s%c (%s, %v)", exp.fig, 'a'+i, pat, exp.arb)
+				series := runGrid(name, &grid)
+				writeCSV(*out, fmt.Sprintf("%s%c.csv", exp.fig, 'a'+i), series, report.CurveCSV)
+				printCurves(name, series)
+			}
+		}
+
+		// Figure 3: latency breakdown for In-Trns-MM under ADVc.
+		cfg := base
+		cfg.Router.Arbitration = router.TransitOverInjection
+		grid := sweep.Grid{
+			Base:       cfg,
+			Mechanisms: []string{"In-Trns-MM"},
+			Patterns:   []string{"ADVc"},
+			Loads:      loadList,
+			Seeds:      seedList,
+			Workers:    *jobs,
+		}
+		series := runGrid("fig3 (breakdown In-Trns-MM/ADVc)", &grid)
+		writeCSV(*out, "fig3.csv", series, report.BreakdownCSV)
+		fmt.Printf("\n== Figure 3: latency breakdown, In-Trns-MM under ADVc ==\n\n")
+		fmt.Print(report.BreakdownTable(series).String())
+	}
+
+	// Figures 4/6 and Tables II/III (+ age-arbitration extension).
+	for _, exp := range []struct {
+		fig, tab string
+		arb      router.Arbitration
+	}{
+		{"fig4", "Table II", router.TransitOverInjection},
+		{"fig6", "Table III", router.RoundRobin},
+		{"ext-age", "Age arbitration (future work)", router.AgeBased},
+	} {
+		cfg := base
+		cfg.Router.Arbitration = exp.arb
+		grid := sweep.Grid{
+			Base:       cfg,
+			Mechanisms: fairnessMechanisms,
+			Patterns:   []string{"ADVc"},
+			Loads:      []float64{*fairLoad},
+			Seeds:      seedList,
+			Workers:    *jobs,
+		}
+		series := runGrid(exp.fig, &grid)
+		fmt.Printf("\n== %s / %s: ADVc @ %.2f, arbitration %v ==\n\n", exp.fig, exp.tab, *fairLoad, exp.arb)
+		fmt.Print(report.InjectionTable(series, 0, base.Topology.A).String())
+		fmt.Println()
+		fmt.Print(report.FairnessTable(series).String())
+	}
+
+	fmt.Printf("\ndfexperiments: completed in %v\n", time.Since(start).Round(time.Second))
+}
+
+func runGrid(name string, grid *sweep.Grid) []sweep.Series {
+	fmt.Fprintf(os.Stderr, "dfexperiments: running %s (%d simulations)...\n", name, len(grid.Points()))
+	samples := grid.Run(func(done, total int) {
+		if done == total || done%25 == 0 {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d", done, total)
+		}
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	})
+	series, err := sweep.Aggregate(samples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfexperiments: warning:", err)
+	}
+	return series
+}
+
+func printCurves(name string, series []sweep.Series) {
+	fmt.Printf("\n== %s ==\n\n", name)
+	t := report.NewTable("Mechanism", "Load", "Latency(cyc)", "Throughput")
+	for _, s := range series {
+		t.AddRow(s.Mechanism,
+			fmt.Sprintf("%.3f", s.Load),
+			fmt.Sprintf("%.1f", s.AvgLatency),
+			fmt.Sprintf("%.4f", s.Throughput))
+	}
+	fmt.Print(t.String())
+}
+
+func writeCSV(dir, name string, series []sweep.Series, write func(w io.Writer, s []sweep.Series) error) {
+	if dir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f, series); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfexperiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// dfsim runs a single Dragonfly simulation and prints its performance and
+// fairness summary.
+//
+// Usage:
+//
+//	dfsim -mechanism In-Trns-MM -pattern ADVc -load 0.4 -h 3
+//	dfsim -full -mechanism Src-RRG -pattern ADV+1 -load 0.3 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dragonfly/internal/cli"
+	"dragonfly/internal/packet"
+	"dragonfly/internal/report"
+	"dragonfly/internal/router"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dfsim", flag.ExitOnError)
+	build := cli.CommonFlags(fs)
+	mech := fs.String("mechanism", "In-Trns-MM", "routing mechanism: "+strings.Join(routing.Names(), ", "))
+	pattern := fs.String("pattern", "UN", "traffic pattern: UN, ADV+i, ADVc, ADVc<k>, PERM")
+	load := fs.Float64("load", 0.4, "offered load in phits/(node*cycle)")
+	group := fs.Int("group", 0, "group whose per-router injections to print")
+	debug := fs.Bool("debug", false, "print per-router buffer snapshots of the chosen group")
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	traceNode := fs.Int("trace", -1, "print the router-event trace of packets injected by this node")
+	traceMax := fs.Int("trace-max", 100, "maximum trace lines to print")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	cfg, err := build()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Mechanism = *mech
+	cfg.Pattern = *pattern
+	cfg.Load = *load
+
+	if *traceNode >= 0 {
+		cfg.Workers = 1 // keep the trace stream ordered
+		lines := 0
+		cfg.Trace = func(now int64, kind router.TraceKind, p *packet.Packet, rid, port, vc int) {
+			if p.Src != *traceNode || lines >= *traceMax {
+				return
+			}
+			lines++
+			fmt.Printf("t=%-8d %-8s pkt=%x dst=%d router=%d port=%d vc=%d hops=l%d/g%d phase=%v\n",
+				now, kind, p.ID, p.Dst, rid, port, vc, p.LocalHops, p.GlobalHops, p.Phase)
+		}
+	}
+
+	if *debug {
+		runDebug(cfg, *group)
+		return
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		if err := report.WriteResultJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printResult(cfg, res, *group)
+}
+
+func printResult(cfg sim.Config, res *sim.Result, group int) {
+	fmt.Printf("network:    %v\n", topology.New(cfg.Topology).Params())
+	fmt.Printf("mechanism:  %s   pattern: %s   arbitration: %v\n",
+		res.Mechanism, res.Pattern, cfg.Router.Arbitration)
+	fmt.Printf("offered:    %.4f phits/node/cycle\n", res.OfferedLoad)
+	ci := res.ThroughputCI()
+	fmt.Printf("accepted:   %.4f ± %.4f phits/node/cycle (95%% CI, batch means)\n",
+		res.Throughput(), ci.HalfCI95)
+	fmt.Printf("latency:    %.1f cycles avg, %d p50, %d p99, %d max\n",
+		res.AvgLatency(), res.LatencyQuantile(0.5), res.LatencyQuantile(0.99), res.MaxLatency())
+	b := res.Breakdown()
+	fmt.Printf("breakdown:  base %.1f + misroute %.1f + local %.1f + global %.1f + injection %.1f\n",
+		b.Base, b.Misroute, b.WaitLocal, b.WaitGlobal, b.WaitInj)
+	fmt.Printf("fairness:   %s\n", report.FairnessSummary(res.Fairness()))
+	fmt.Printf("delivered:  %d packets in %d cycles (%.1fs wall)\n",
+		res.Delivered(), res.MeasuredCycles, res.Wall.Seconds())
+	fmt.Printf("group %d injections: %v\n", group, res.GroupInjections(group))
+}
+
+// runDebug executes the simulation with direct network access and dumps
+// buffer snapshots.
+func runDebug(cfg sim.Config, group int) {
+	net, err := sim.NewNetwork(&cfg, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sim.RunNetwork(net, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dfsim: %v (dumping state anyway)\n", err)
+	}
+	a := cfg.Topology.A
+	for i := 0; i < a; i++ {
+		r := net.Routers[group*a+i]
+		fmt.Printf("R%-2d %+v\n", i, r.Snapshot())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Package dragonfly is a cycle-driven simulator of Dragonfly interconnection
+// networks, built to reproduce "Throughput Unfairness in Dragonfly Networks
+// under Realistic Traffic Patterns" (Fuentes, Vallejo, Camarero, Beivide,
+// Valero — IEEE CLUSTER 2015).
+//
+// The library models canonical Dragonflies (complete graphs at both levels,
+// palmtree global link arrangement), FOGSim-style input/output-buffered
+// routers with virtual channels, credit-based virtual cut-through flow
+// control and an iterative separable allocator, and the full set of routing
+// mechanisms the paper evaluates: minimal (MIN), oblivious Valiant
+// (Obl-RRG/Obl-CRG), PiggyBack source-adaptive (Src-RRG/Src-CRG) and
+// in-transit adaptive with the RRG, CRG and MM global misrouting policies.
+// Traffic generators cover uniform (UN), adversarial (ADV+i) and the paper's
+// adversarial-consecutive (ADVc) patterns.
+//
+// # Quick start
+//
+//	cfg := dragonfly.DefaultConfig()
+//	cfg.Mechanism = "In-Trns-MM"
+//	cfg.Pattern = "ADVc"
+//	cfg.Load = 0.4
+//	res, err := dragonfly.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Throughput(), res.AvgLatency(), res.Fairness().CoV)
+//
+// Multi-point studies (load sweeps, per-router fairness, latency
+// breakdowns) are provided by the Sweep helpers and by the executables in
+// cmd/ (dfsim, dfsweep, dffair, dfbreakdown, dfexperiments). See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// record.
+package dragonfly
+
+import (
+	"dragonfly/internal/router"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+)
+
+// Config describes one simulation run. It is an alias of the internal
+// simulator configuration; construct it with DefaultConfig or PaperConfig
+// and adjust fields.
+type Config = sim.Config
+
+// Result holds the measurements of one run.
+type Result = sim.Result
+
+// Fairness bundles the Section IV-B unfairness metrics.
+type Fairness = stats.Fairness
+
+// Breakdown is the Figure 3 latency decomposition.
+type Breakdown = stats.Breakdown
+
+// TopologyParams describes a canonical Dragonfly (p, a, h, arrangement).
+type TopologyParams = topology.Params
+
+// Arbitration selects the router allocator policy: RoundRobin,
+// TransitOverInjection, or AgeBased.
+type Arbitration = router.Arbitration
+
+// Re-exported arbitration policies.
+const (
+	RoundRobin           = router.RoundRobin
+	TransitOverInjection = router.TransitOverInjection
+	AgeBased             = router.AgeBased
+)
+
+// DefaultConfig returns a laptop-scale configuration (balanced h=2
+// Dragonfly, Table I router parameters).
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// PaperConfig returns the paper's full Table I configuration: h=6, 73
+// groups, 5,256 nodes, 15,000 measured cycles.
+func PaperConfig() Config { return sim.PaperConfig() }
+
+// Balanced returns the balanced Dragonfly parameters (p=h, a=2h) for a
+// given h. Balanced(6) is the paper's network.
+func Balanced(h int) TopologyParams { return topology.Balanced(h) }
+
+// Run executes one simulation. It is deterministic in cfg.Seed and
+// bit-identical for any cfg.Workers value.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// Mechanisms lists the registered routing mechanism names accepted by
+// Config.Mechanism.
+func Mechanisms() []string { return routing.Names() }
+
+// NewNetwork exposes network construction for advanced callers that drive
+// cycles manually (see examples/quickstart for the ordinary entry point).
+func NewNetwork(cfg *Config) (*sim.Network, error) { return sim.NewNetwork(cfg, nil) }
+
+// RunWithAppTraffic runs a simulation whose traffic is uniform inside an
+// application allocated on `groups` consecutive groups starting at group
+// `first` — the Section III job-scheduler use case that turns uniform
+// application traffic into ADVc network traffic.
+func RunWithAppTraffic(cfg Config, first, groups int) (*Result, error) {
+	topo := topology.New(cfg.Topology)
+	return sim.RunWithPattern(cfg, traffic.NewAppUniform(topo, first, groups))
+}

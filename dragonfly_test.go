@@ -1,0 +1,92 @@
+package dragonfly
+
+import (
+	"testing"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Pattern = "ADVc"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 1000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("no throughput")
+	}
+	if res.AvgLatency() <= 0 {
+		t.Error("no latency")
+	}
+	f := res.Fairness()
+	if f.MinInj < 0 || f.Jain <= 0 {
+		t.Errorf("bad fairness %+v", f)
+	}
+}
+
+func TestMechanismsList(t *testing.T) {
+	ms := Mechanisms()
+	if len(ms) < 8 {
+		t.Fatalf("only %d mechanisms", len(ms))
+	}
+	for _, m := range ms {
+		cfg := DefaultConfig()
+		cfg.Mechanism = m
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("registered mechanism %q fails validation: %v", m, err)
+		}
+	}
+}
+
+func TestBalancedHelper(t *testing.T) {
+	p := Balanced(6)
+	if p.Nodes() != 5256 {
+		t.Errorf("Balanced(6) has %d nodes", p.Nodes())
+	}
+}
+
+func TestPaperConfigRuns(t *testing.T) {
+	cfg := PaperConfig()
+	// Shrink the cycle counts to keep the public smoke test fast; the
+	// topology stays the paper's.
+	cfg.WarmupCycles = 50
+	cfg.MeasureCycles = 100
+	cfg.Load = 0.05
+	cfg.Workers = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 5256 {
+		t.Errorf("nodes = %d", res.Nodes)
+	}
+}
+
+func TestNewNetworkExposed(t *testing.T) {
+	cfg := DefaultConfig()
+	net, err := NewNetwork(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Routers) != cfg.Topology.Routers() {
+		t.Errorf("router count %d", len(net.Routers))
+	}
+}
+
+func TestRunWithAppTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 1000
+	res, err := RunWithAppTraffic(cfg, 0, cfg.Topology.H+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("application traffic delivered nothing")
+	}
+}

@@ -1,0 +1,61 @@
+// Job allocation: how consecutive group allocation turns uniform
+// application traffic into ADVc network traffic (Section III of the paper).
+//
+// An HPC job scheduler that hands an application h+1 consecutive Dragonfly
+// groups is the simplest allocation policy — and this example shows it is
+// enough to produce the adversarial-consecutive pattern: even though the
+// application's processes communicate uniformly among themselves, the first
+// group's outbound traffic all funnels through the single router that owns
+// the global links towards the next h groups.
+//
+//	go run ./examples/joballocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragonfly"
+)
+
+func main() {
+	cfg := dragonfly.DefaultConfig()
+	cfg.Topology = dragonfly.Balanced(3)
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Load = 0.4
+	cfg.Router.Arbitration = dragonfly.TransitOverInjection
+	cfg.WarmupCycles = 3000
+	cfg.MeasureCycles = 6000
+	cfg.Workers = 4
+
+	h := cfg.Topology.H
+	apps := h + 1 // the allocation size that reproduces ADVc exactly
+
+	fmt.Printf("Application allocated on groups 0..%d of a %d-group Dragonfly,\n",
+		apps-1, cfg.Topology.Groups())
+	fmt.Printf("processes communicating uniformly (no adversarial intent).\n\n")
+
+	res, err := dragonfly.RunWithAppTraffic(cfg, 0, apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Group 0 sees the full ADVc effect: every remote destination group of
+	// the allocation (+1..+h) is reached through the same bottleneck
+	// router.
+	fmt.Printf("injected packets per router of group 0 (allocation member):\n")
+	for i, n := range res.GroupInjections(0) {
+		fmt.Printf("  R%-2d %5d\n", i, n)
+	}
+
+	// A group outside the allocation is idle.
+	outside := apps + 1
+	fmt.Printf("\ninjected packets per router of group %d (outside the job): %v\n",
+		outside, res.GroupInjections(outside))
+
+	fmt.Printf("\naccepted load %.3f phits/node/cycle, avg latency %.1f cycles\n",
+		res.Throughput(), res.AvgLatency())
+	fmt.Println("\nThe bottleneck router of each member group starves, although the")
+	fmt.Println("application's own communication pattern is perfectly uniform —")
+	fmt.Println("the pathology is created by the allocation, not the workload.")
+}

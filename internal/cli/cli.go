@@ -1,0 +1,125 @@
+// Package cli holds the flag plumbing shared by the df* executables.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dragonfly/internal/router"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+)
+
+// CommonFlags registers the simulation flags shared by every tool on fs and
+// returns a builder that assembles the sim.Config after flag parsing.
+func CommonFlags(fs *flag.FlagSet) func() (sim.Config, error) {
+	var (
+		h        = fs.Int("h", 3, "global links per router (balanced dragonfly: a=2h, p=h)")
+		p        = fs.Int("p", 0, "nodes per router (0 = balanced: p=h)")
+		a        = fs.Int("a", 0, "routers per group (0 = balanced: a=2h)")
+		full     = fs.Bool("full", false, "use the paper's full-size network (h=6, 5256 nodes) and cycle counts")
+		arr      = fs.String("arrangement", "palmtree", "global link arrangement: palmtree or consecutive")
+		warmup   = fs.Int64("warmup", 3000, "warm-up cycles before measurement")
+		measure  = fs.Int64("measure", 6000, "measured cycles")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		workers  = fs.Int("workers", 1, "parallel engine workers per simulation (1 = sequential)")
+		priority = fs.Bool("priority", true, "prioritize transit over injection at the allocator")
+		age      = fs.Bool("age", false, "use age-based arbitration (overrides -priority)")
+		queue    = fs.Int("inj-queue", 256, "injection source queue depth in packets")
+		thresh   = fs.Float64("threshold", 0.43, "in-transit congestion threshold (fraction)")
+		olm      = fs.Bool("olm", true, "enable opportunistic (OLM-style) local misrouting")
+	)
+	return func() (sim.Config, error) {
+		cfg := sim.DefaultConfig()
+		if *full {
+			cfg = sim.PaperConfig()
+		} else {
+			cfg.Topology = topology.Balanced(*h)
+			if *p > 0 {
+				cfg.Topology.P = *p
+			}
+			if *a > 0 {
+				cfg.Topology.A = *a
+			}
+			cfg.WarmupCycles = *warmup
+			cfg.MeasureCycles = *measure
+		}
+		switch strings.ToLower(*arr) {
+		case "palmtree":
+			cfg.Topology.Arrangement = topology.Palmtree
+		case "consecutive":
+			cfg.Topology.Arrangement = topology.Consecutive
+		default:
+			return cfg, fmt.Errorf("unknown arrangement %q", *arr)
+		}
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		switch {
+		case *age:
+			cfg.Router.Arbitration = router.AgeBased
+		case *priority:
+			cfg.Router.Arbitration = router.TransitOverInjection
+		default:
+			cfg.Router.Arbitration = router.RoundRobin
+		}
+		cfg.Router.InjectionQueuePackets = *queue
+		cfg.Router.CongestionThreshold = *thresh
+		cfg.Routing.CongestionThreshold = *thresh
+		cfg.Routing.LocalMisroute = *olm
+		return cfg, nil
+	}
+}
+
+// ParseLoads parses a comma-separated list of loads ("0.1,0.2") or a range
+// spec ("0.05:1.0:0.05" = from:to:step).
+func ParseLoads(s string) ([]float64, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("range spec must be from:to:step, got %q", s)
+		}
+		from, err1 := strconv.ParseFloat(parts[0], 64)
+		to, err2 := strconv.ParseFloat(parts[1], 64)
+		step, err3 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil || step <= 0 {
+			return nil, fmt.Errorf("bad range spec %q", s)
+		}
+		var loads []float64
+		for l := from; l <= to+1e-9; l += step {
+			loads = append(loads, l)
+		}
+		return loads, nil
+	}
+	var loads []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", f, err)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
+}
+
+// ParseSeeds expands a seed count into seeds base..base+n-1.
+func ParseSeeds(base uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds
+}
+
+// SplitList splits a comma-separated list, trimming whitespace.
+func SplitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package cli
+
+import (
+	"flag"
+	"math"
+	"testing"
+
+	"dragonfly/internal/router"
+	"dragonfly/internal/topology"
+)
+
+func TestParseLoadsList(t *testing.T) {
+	loads, err := ParseLoads("0.1, 0.2,0.35")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0.35}
+	if len(loads) != len(want) {
+		t.Fatalf("got %v", loads)
+	}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Errorf("loads[%d] = %v, want %v", i, loads[i], want[i])
+		}
+	}
+}
+
+func TestParseLoadsRange(t *testing.T) {
+	loads, err := ParseLoads("0.1:0.5:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 5 {
+		t.Fatalf("got %d loads: %v", len(loads), loads)
+	}
+	if math.Abs(loads[4]-0.5) > 1e-9 {
+		t.Errorf("last load %v, want 0.5", loads[4])
+	}
+}
+
+func TestParseLoadsErrors(t *testing.T) {
+	for _, bad := range []string{"x", "0.1:0.5", "0.1:0.5:0", "0.1:0.5:-1", "a:b:c", "0.1,,x"} {
+		if _, err := ParseLoads(bad); err == nil {
+			t.Errorf("ParseLoads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	seeds := ParseSeeds(10, 3)
+	if len(seeds) != 3 || seeds[0] != 10 || seeds[2] != 12 {
+		t.Errorf("seeds = %v", seeds)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" a, b ,, c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SplitList = %v", got)
+	}
+}
+
+func TestCommonFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := CommonFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology != topology.Balanced(3) {
+		t.Errorf("default topology %+v", cfg.Topology)
+	}
+	if cfg.Router.Arbitration != router.TransitOverInjection {
+		t.Errorf("default arbitration %v, want priority", cfg.Router.Arbitration)
+	}
+}
+
+func TestCommonFlagsFull(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := CommonFlags(fs)
+	if err := fs.Parse([]string{"-full", "-priority=false"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.Nodes() != 5256 {
+		t.Errorf("full topology has %d nodes", cfg.Topology.Nodes())
+	}
+	if cfg.MeasureCycles != 15000 {
+		t.Errorf("full measure cycles %d", cfg.MeasureCycles)
+	}
+	if cfg.Router.Arbitration != router.RoundRobin {
+		t.Errorf("arbitration %v, want round-robin", cfg.Router.Arbitration)
+	}
+}
+
+func TestCommonFlagsOverrides(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := CommonFlags(fs)
+	if err := fs.Parse([]string{"-h", "2", "-p", "4", "-a", "5", "-age",
+		"-arrangement", "consecutive", "-threshold", "0.5", "-olm=false"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.P != 4 || cfg.Topology.A != 5 || cfg.Topology.H != 2 {
+		t.Errorf("topology %+v", cfg.Topology)
+	}
+	if cfg.Topology.Arrangement != topology.Consecutive {
+		t.Error("arrangement flag ignored")
+	}
+	if cfg.Router.Arbitration != router.AgeBased {
+		t.Error("-age ignored")
+	}
+	if cfg.Routing.CongestionThreshold != 0.5 || cfg.Routing.LocalMisroute {
+		t.Error("threshold/olm flags ignored")
+	}
+}
+
+func TestCommonFlagsBadArrangement(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := CommonFlags(fs)
+	if err := fs.Parse([]string{"-arrangement", "spiral"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build(); err == nil {
+		t.Error("bad arrangement accepted")
+	}
+}

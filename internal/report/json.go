@@ -1,0 +1,101 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+)
+
+// ResultJSON is the stable machine-readable form of a simulation result,
+// written by dfsim -json and consumable by external plotting pipelines.
+type ResultJSON struct {
+	Mechanism      string    `json:"mechanism"`
+	Pattern        string    `json:"pattern"`
+	OfferedLoad    float64   `json:"offered_load"`
+	AcceptedLoad   float64   `json:"accepted_load"`
+	AcceptedCI95   float64   `json:"accepted_load_ci95"`
+	AvgLatency     float64   `json:"avg_latency_cycles"`
+	P50Latency     int64     `json:"p50_latency_cycles"`
+	P99Latency     int64     `json:"p99_latency_cycles"`
+	MaxLatency     int64     `json:"max_latency_cycles"`
+	Nodes          int       `json:"nodes"`
+	MeasuredCycles int64     `json:"measured_cycles"`
+	Seed           uint64    `json:"seed"`
+	Delivered      int64     `json:"delivered_packets"`
+	Generated      int64     `json:"generated_packets"`
+	Backlogged     int64     `json:"backlogged_packets"`
+	Breakdown      breakdown `json:"latency_breakdown"`
+	Fairness       fairness  `json:"fairness"`
+	Injections     []int64   `json:"injections_per_router"`
+	WallSeconds    float64   `json:"wall_seconds"`
+}
+
+type breakdown struct {
+	Base             float64 `json:"base"`
+	Misroute         float64 `json:"misroute"`
+	CongestionLocal  float64 `json:"congestion_local"`
+	CongestionGlobal float64 `json:"congestion_global"`
+	InjectionQueue   float64 `json:"injection_queue"`
+}
+
+type fairness struct {
+	MinInj float64 `json:"min_inj"`
+	MaxInj float64 `json:"max_inj"`
+	MaxMin float64 `json:"max_min"`
+	CoV    float64 `json:"cov"`
+	Jain   float64 `json:"jain"`
+}
+
+// NewResultJSON converts a simulation result.
+func NewResultJSON(res *sim.Result) ResultJSON {
+	b := res.Breakdown()
+	f := res.Fairness()
+	return ResultJSON{
+		Mechanism:      res.Mechanism,
+		Pattern:        res.Pattern,
+		OfferedLoad:    res.OfferedLoad,
+		AcceptedLoad:   res.Throughput(),
+		AcceptedCI95:   res.ThroughputCI().HalfCI95,
+		AvgLatency:     res.AvgLatency(),
+		P50Latency:     res.LatencyQuantile(0.50),
+		P99Latency:     res.LatencyQuantile(0.99),
+		MaxLatency:     res.MaxLatency(),
+		Nodes:          res.Nodes,
+		MeasuredCycles: res.MeasuredCycles,
+		Seed:           res.Seed,
+		Delivered:      res.Delivered(),
+		Generated:      res.Generated(),
+		Backlogged:     res.Backlogged(),
+		Breakdown: breakdown{
+			Base:             b.Base,
+			Misroute:         b.Misroute,
+			CongestionLocal:  b.WaitLocal,
+			CongestionGlobal: b.WaitGlobal,
+			InjectionQueue:   b.WaitInj,
+		},
+		Fairness:    newFairnessJSON(f),
+		Injections:  res.Injections(),
+		WallSeconds: res.Wall.Seconds(),
+	}
+}
+
+func newFairnessJSON(f stats.Fairness) fairness {
+	return fairness{MinInj: f.MinInj, MaxInj: f.MaxInj, MaxMin: sanitize(f.MaxMin), CoV: f.CoV, Jain: f.Jain}
+}
+
+// sanitize maps +Inf (a fully starved router) to -1, which JSON can carry.
+func sanitize(v float64) float64 {
+	if v > 1e300 {
+		return -1
+	}
+	return v
+}
+
+// WriteResultJSON writes the result as indented JSON.
+func WriteResultJSON(w io.Writer, res *sim.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewResultJSON(res))
+}

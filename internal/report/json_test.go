@@ -1,0 +1,60 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dragonfly/internal/sim"
+)
+
+func runSmall(t *testing.T) *sim.Result {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Pattern = "ADVc"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 800
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := runSmall(t)
+	var sb strings.Builder
+	if err := WriteResultJSON(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	var back ResultJSON
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if back.Mechanism != "In-Trns-MM" || back.Pattern != "ADVc" {
+		t.Errorf("identity fields lost: %+v", back)
+	}
+	if back.AcceptedLoad != res.Throughput() {
+		t.Errorf("accepted load %v != %v", back.AcceptedLoad, res.Throughput())
+	}
+	if back.AvgLatency != res.AvgLatency() {
+		t.Error("latency mismatch")
+	}
+	if len(back.Injections) != len(res.PerRouter) {
+		t.Errorf("injection vector length %d", len(back.Injections))
+	}
+	if back.P99Latency < back.P50Latency {
+		t.Error("quantiles out of order")
+	}
+}
+
+func TestSanitizeInf(t *testing.T) {
+	if sanitize(1e301) != -1 {
+		t.Error("infinity not sanitized")
+	}
+	if sanitize(2.5) != 2.5 {
+		t.Error("finite value mangled")
+	}
+}

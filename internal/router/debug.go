@@ -1,0 +1,54 @@
+package router
+
+import "dragonfly/internal/topology"
+
+// Occupancy is a diagnostic snapshot of a router's buffer state, used by
+// tests and the dfsim -debug flag to localise congestion or stalls.
+type Occupancy struct {
+	// InputPhits per port class: phits held in input VC buffers.
+	InputLocal, InputGlobal, InputInjection int
+	// OutputPhits per port class: phits in output buffers (incl. in-flight
+	// crossbar reservations).
+	OutputLocal, OutputGlobal, OutputEjection int
+	// CreditsInUse per output class: downstream phits not yet credited.
+	CreditsLocal, CreditsGlobal int
+	// PendingTransfers counts crossbar transfers in progress.
+	PendingTransfers int
+}
+
+// Snapshot returns the router's current buffer occupancy.
+func (r *Router) Snapshot() Occupancy {
+	var s Occupancy
+	for i := range r.inputs {
+		in := &r.inputs[i]
+		occ := 0
+		for v := range in.vcs {
+			occ += in.vcs[v].occ
+		}
+		switch in.class {
+		case topology.LocalPort:
+			s.InputLocal += occ
+		case topology.GlobalPort:
+			s.InputGlobal += occ
+		default:
+			s.InputInjection += occ
+		}
+		if in.pending.active {
+			s.PendingTransfers++
+		}
+	}
+	for i := range r.outputs {
+		o := &r.outputs[i]
+		switch o.class {
+		case topology.LocalPort:
+			s.OutputLocal += o.occ
+			s.CreditsLocal += o.downTotal - o.creditsFree
+		case topology.GlobalPort:
+			s.OutputGlobal += o.occ
+			s.CreditsGlobal += o.downTotal - o.creditsFree
+		default:
+			s.OutputEjection += o.occ
+		}
+	}
+	return s
+}

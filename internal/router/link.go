@@ -1,0 +1,95 @@
+package router
+
+import (
+	"fmt"
+
+	"dragonfly/internal/packet"
+)
+
+// Link is a unidirectional channel between an output port and the input
+// port of a neighbouring router, together with the reverse credit channel.
+//
+// Both channels are time-indexed ring buffers: the sender writes events at
+// future cycles, the receiver consumes the slot of the current cycle. The
+// serialisation and latency constants guarantee at most one event per cycle
+// per channel, and sender and receiver always touch slots at least one cycle
+// apart, so a Link may be shared by two routers stepped concurrently without
+// locks.
+type Link struct {
+	latency int
+	size    int64
+
+	pkts    []*packet.Packet
+	credits []creditEvent
+}
+
+type creditEvent struct {
+	phits int32
+	vc    int32
+}
+
+// NewLink builds a link with the given propagation latency. horizon must be
+// at least the packet serialisation time.
+func NewLink(latency, horizon int) *Link {
+	if latency <= 0 {
+		panic("router: link latency must be positive")
+	}
+	size := latency + horizon + 2
+	return &Link{
+		latency: latency,
+		size:    int64(size),
+		pkts:    make([]*packet.Packet, size),
+		credits: make([]creditEvent, size),
+	}
+}
+
+// Latency returns the propagation latency in cycles.
+func (l *Link) Latency() int { return l.latency }
+
+// PushPacket schedules p to arrive at cycle at. It panics if the slot is
+// occupied — that would mean the sender violated the serialisation rule.
+func (l *Link) PushPacket(at int64, p *packet.Packet) {
+	idx := at % l.size
+	if l.pkts[idx] != nil {
+		panic(fmt.Sprintf("router: packet slot collision at cycle %d", at))
+	}
+	l.pkts[idx] = p
+}
+
+// PopPacket returns the packet arriving at cycle at, or nil.
+func (l *Link) PopPacket(at int64) *packet.Packet {
+	idx := at % l.size
+	p := l.pkts[idx]
+	l.pkts[idx] = nil
+	return p
+}
+
+// PushCredit schedules a credit of phits for vc to arrive upstream at cycle
+// at. It panics on slot collision.
+func (l *Link) PushCredit(at int64, vc, phits int) {
+	idx := at % l.size
+	if l.credits[idx].phits != 0 {
+		panic(fmt.Sprintf("router: credit slot collision at cycle %d", at))
+	}
+	l.credits[idx] = creditEvent{phits: int32(phits), vc: int32(vc)}
+}
+
+// PopCredit returns the credit arriving at cycle at, or (0,0).
+func (l *Link) PopCredit(at int64) (vc, phits int) {
+	idx := at % l.size
+	ev := l.credits[idx]
+	l.credits[idx] = creditEvent{}
+	return int(ev.vc), int(ev.phits)
+}
+
+// InFlight counts packets currently travelling on the link. Intended for
+// conservation checks in tests; O(size).
+func (l *Link) InFlight() int {
+	n := 0
+	for _, p := range l.pkts {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dragonfly/internal/packet"
+)
+
+func TestLinkPacketDelivery(t *testing.T) {
+	l := NewLink(10, 8)
+	p := &packet.Packet{ID: 1}
+	l.PushPacket(25, p)
+	for at := int64(20); at < 25; at++ {
+		if got := l.PopPacket(at); got != nil {
+			t.Fatalf("packet surfaced early at %d", at)
+		}
+	}
+	if got := l.PopPacket(25); got != p {
+		t.Fatal("packet not delivered at its cycle")
+	}
+	if got := l.PopPacket(25); got != nil {
+		t.Fatal("packet delivered twice")
+	}
+}
+
+func TestLinkCreditDelivery(t *testing.T) {
+	l := NewLink(10, 8)
+	l.PushCredit(17, 2, 8)
+	if _, phits := l.PopCredit(16); phits != 0 {
+		t.Fatal("credit surfaced early")
+	}
+	vc, phits := l.PopCredit(17)
+	if vc != 2 || phits != 8 {
+		t.Fatalf("credit = (%d,%d), want (2,8)", vc, phits)
+	}
+	if _, phits := l.PopCredit(17); phits != 0 {
+		t.Fatal("credit delivered twice")
+	}
+}
+
+func TestLinkSlotCollisionPanics(t *testing.T) {
+	l := NewLink(10, 8)
+	l.PushPacket(5, &packet.Packet{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("packet slot collision did not panic")
+		}
+	}()
+	l.PushPacket(5, &packet.Packet{})
+}
+
+func TestLinkCreditCollisionPanics(t *testing.T) {
+	l := NewLink(10, 8)
+	l.PushCredit(5, 0, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("credit slot collision did not panic")
+		}
+	}()
+	l.PushCredit(5, 1, 8)
+}
+
+func TestLinkRingReuse(t *testing.T) {
+	l := NewLink(3, 8)
+	// Push/pop far more events than the ring size; slots must recycle.
+	for i := int64(0); i < 100; i++ {
+		l.PushPacket(i+4, &packet.Packet{ID: uint64(i)})
+		if i >= 4 {
+			p := l.PopPacket(i)
+			if p == nil || p.ID != uint64(i-4) {
+				t.Fatalf("cycle %d: got %v, want packet %d", i, p, i-4)
+			}
+		}
+	}
+}
+
+func TestLinkInFlight(t *testing.T) {
+	l := NewLink(10, 8)
+	if l.InFlight() != 0 {
+		t.Fatal("new link not empty")
+	}
+	l.PushPacket(5, &packet.Packet{})
+	l.PushPacket(9, &packet.Packet{})
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight() = %d, want 2", got)
+	}
+	l.PopPacket(5)
+	if got := l.InFlight(); got != 1 {
+		t.Fatalf("InFlight() = %d, want 1", got)
+	}
+}
+
+func TestNewLinkRejectsBadLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero latency accepted")
+		}
+	}()
+	NewLink(0, 8)
+}
+
+// Property: any schedule of (time, payload) pushes with unique in-window
+// times is delivered exactly at its time.
+func TestLinkScheduleProperty(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		l := NewLink(100, 8)
+		seen := map[int64]bool{}
+		type ev struct {
+			at int64
+			id uint64
+		}
+		var evs []ev
+		for i, o := range offsets {
+			at := int64(o%100) + 1
+			if seen[at] {
+				continue
+			}
+			seen[at] = true
+			l.PushPacket(at, &packet.Packet{ID: uint64(i)})
+			evs = append(evs, ev{at, uint64(i)})
+		}
+		got := map[int64]uint64{}
+		for at := int64(0); at <= 101; at++ {
+			if p := l.PopPacket(at); p != nil {
+				got[at] = p.ID
+			}
+		}
+		if len(got) != len(evs) {
+			return false
+		}
+		for _, e := range evs {
+			if got[e.at] != e.id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.PacketSize = 0 },
+		func(c *Config) { c.PipelineCycles = -1 },
+		func(c *Config) { c.Speedup = 0 },
+		func(c *Config) { c.OutputBufferPhits = 4 },
+		func(c *Config) { c.LocalVCPhits = 4 },
+		func(c *Config) { c.GlobalVCPhits = 4 },
+		func(c *Config) { c.LocalVCs = 0 },
+		func(c *Config) { c.GlobalVCs = 0 },
+		func(c *Config) { c.LocalLatency = 0 },
+		func(c *Config) { c.GlobalLatency = 0 },
+		func(c *Config) { c.InjectionQueuePackets = 0 },
+		func(c *Config) { c.AllocIterations = 0 },
+		func(c *Config) { c.CongestionThreshold = 0 },
+		func(c *Config) { c.CongestionThreshold = 1 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestConfigDerivedCycles(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.CrossbarCycles(); got != 4 {
+		t.Errorf("CrossbarCycles() = %d, want 4 (8 phits at 2x)", got)
+	}
+	if got := c.SerialCycles(); got != 8 {
+		t.Errorf("SerialCycles() = %d, want 8", got)
+	}
+	c.Speedup = 3
+	if got := c.CrossbarCycles(); got != 3 {
+		t.Errorf("CrossbarCycles() at 3x = %d, want ceil(8/3)=3", got)
+	}
+}
+
+func TestArbitrationString(t *testing.T) {
+	for a, want := range map[Arbitration]string{
+		RoundRobin:           "round-robin",
+		TransitOverInjection: "transit-priority",
+		AgeBased:             "age",
+	} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if Arbitration(9).String() == "" {
+		t.Error("unknown arbitration String() empty")
+	}
+}

@@ -1,0 +1,44 @@
+package routing
+
+import (
+	"testing"
+
+	"dragonfly/internal/packet"
+	"dragonfly/internal/rng"
+	"dragonfly/internal/topology"
+)
+
+// customMin is a trivial user-defined mechanism exercising the Register
+// extension point.
+type customMin struct{ *Minimal }
+
+func (customMin) Name() string { return "Custom-MIN" }
+
+func TestRegisterCustomMechanism(t *testing.T) {
+	Register("custom-min", func() Mechanism { return customMin{NewMinimal()} })
+	m, err := ByName("Custom-MIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "Custom-MIN" {
+		t.Errorf("Name() = %q", m.Name())
+	}
+	// It must route like MIN.
+	topo := topology.New(topology.Balanced(2))
+	env := newEnv(topo)
+	p := &packet.Packet{Src: 0, Dst: 9, Size: 8, IntNode: -1, IntGroup: -1}
+	req := m.NextHop(env, view(0), p, topology.InjectionPort, rng.New(1))
+	want := NewMinimal().NextHop(env, view(0), p, topology.InjectionPort, rng.New(1))
+	if req != want {
+		t.Errorf("custom mechanism routed %+v, want %+v", req, want)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	Register("min", func() Mechanism { return NewMinimal() })
+}

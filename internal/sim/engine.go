@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+)
+
+// watchdogInterval is how often the engine checks for global inactivity.
+const watchdogInterval = 1024
+
+// Run executes one simulation and returns its measurements. Results are
+// bit-identical for any Workers value (the parallel engine only exchanges
+// state through time-indexed link buffers).
+func Run(cfg Config) (*Result, error) {
+	return RunWithPattern(cfg, nil)
+}
+
+// RunWithPattern is Run with an explicit traffic pattern instance,
+// overriding cfg.Pattern (used by the application-allocation examples).
+func RunWithPattern(cfg Config, pat traffic.Pattern) (*Result, error) {
+	net, err := NewNetwork(&cfg, pat)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := RunNetwork(net, &cfg); err != nil {
+		return nil, err
+	}
+	return newResult(net, &cfg, time.Since(start)), nil
+}
+
+// RunWithAppPattern runs a simulation with application-uniform traffic over
+// the allocation of `groups` consecutive groups starting at `first`
+// (Section III's job-scheduler use case).
+func RunWithAppPattern(cfg Config, first, groups int) (*Result, error) {
+	topo := topology.New(cfg.Topology)
+	return RunWithPattern(cfg, traffic.NewAppUniform(topo, first, groups))
+}
+
+// RunNetwork drives an already-built network through the configured warm-up
+// and measurement phases. Exposed for tools that inspect network state
+// after the run.
+func RunNetwork(net *Network, cfg *Config) error {
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > len(net.Routers) {
+		workers = len(net.Routers)
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	if workers <= 1 {
+		return runSequential(net, cfg.WarmupCycles, total)
+	}
+	return runParallel(net, cfg.WarmupCycles, total, workers)
+}
+
+// batchIndex maps a measurement cycle to its batch-means span.
+func batchIndex(now, warmup, measure int64) int {
+	if measure <= 0 {
+		return 0
+	}
+	return int((now - warmup) * stats.Batches / measure)
+}
+
+func runSequential(net *Network, warmup, total int64) error {
+	measure := total - warmup
+	var lastSeen int64 // most recent activity observed by the watchdog
+	batch := -1
+	for now := int64(0); now < total; now++ {
+		if now == warmup {
+			for _, r := range net.Routers {
+				r.SetMeasuring(true)
+			}
+		}
+		if now >= warmup {
+			if b := batchIndex(now, warmup, measure); b != batch {
+				batch = b
+				for _, r := range net.Routers {
+					r.SetBatch(b)
+				}
+			}
+		}
+		if net.pb != nil {
+			for g := 0; g < net.Topo.NumGroups(); g++ {
+				net.pb.updateGroup(g)
+			}
+		}
+		for r := range net.Routers {
+			net.generate(r, now)
+			net.Routers[r].Step(now)
+		}
+		if now%watchdogInterval == watchdogInterval-1 {
+			var err error
+			lastSeen, err = watchdog(net, now, lastSeen)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// watchdog detects a fully stalled network: packets in flight but no router
+// granted or delivered anything for several intervals.
+func watchdog(net *Network, now, lastSeen int64) (int64, error) {
+	latest := int64(-1)
+	for _, r := range net.Routers {
+		if a := r.Stats().LastActivity; a > latest {
+			latest = a
+		}
+	}
+	if latest > lastSeen {
+		return latest, nil
+	}
+	if net.InFlight() > 0 && now-latest > 2*watchdogInterval {
+		return latest, fmt.Errorf("sim: no progress since cycle %d (now %d) with packets in flight: routing deadlock", latest, now)
+	}
+	return lastSeen, nil
+}
+
+// runParallel steps disjoint router shards on persistent workers with a
+// barrier per phase. Cross-router state only flows through time-indexed
+// link slots written at least one cycle ahead, so the result is identical
+// to the sequential engine.
+func runParallel(net *Network, warmup, total int64, workers int) error {
+	type span struct{ lo, hi int }
+	shards := make([]span, workers)
+	n := len(net.Routers)
+	for w := 0; w < workers; w++ {
+		shards[w] = span{lo: w * n / workers, hi: (w + 1) * n / workers}
+	}
+	groups := net.Topo.NumGroups()
+	gShards := make([]span, workers)
+	for w := 0; w < workers; w++ {
+		gShards[w] = span{lo: w * groups / workers, hi: (w + 1) * groups / workers}
+	}
+
+	// Each worker has a dedicated start channel so a fast worker can never
+	// steal another worker's phase signal; done is the converging barrier.
+	starts := make([]chan int64, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		starts[w] = make(chan int64)
+		go func(w int) {
+			for now := range starts[w] {
+				if net.pb != nil {
+					// Phase 1: refresh PB bits for this worker's groups.
+					for g := gShards[w].lo; g < gShards[w].hi; g++ {
+						net.pb.updateGroup(g)
+					}
+					done <- struct{}{}
+					// Phase 2 signal from the coordinator.
+					if _, ok := <-starts[w]; !ok {
+						return
+					}
+				}
+				for r := shards[w].lo; r < shards[w].hi; r++ {
+					net.generate(r, now)
+					net.Routers[r].Step(now)
+				}
+				done <- struct{}{}
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range starts {
+			close(ch)
+		}
+	}()
+
+	var lastSeen int64
+	measure := total - warmup
+	batch := -1
+	for now := int64(0); now < total; now++ {
+		if now == warmup {
+			for _, r := range net.Routers {
+				r.SetMeasuring(true)
+			}
+		}
+		if now >= warmup {
+			// Workers are quiescent between cycles, so the
+			// coordinator may touch router state here.
+			if b := batchIndex(now, warmup, measure); b != batch {
+				batch = b
+				for _, r := range net.Routers {
+					r.SetBatch(b)
+				}
+			}
+		}
+		phases := 1
+		if net.pb != nil {
+			phases = 2
+		}
+		for ph := 0; ph < phases; ph++ {
+			for w := 0; w < workers; w++ {
+				starts[w] <- now
+			}
+			for w := 0; w < workers; w++ {
+				<-done
+			}
+		}
+		if now%watchdogInterval == watchdogInterval-1 {
+			var err error
+			lastSeen, err = watchdog(net, now, lastSeen)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

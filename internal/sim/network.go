@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"sync"
+
+	"dragonfly/internal/packet"
+	"dragonfly/internal/rng"
+	"dragonfly/internal/router"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+)
+
+// nodeState is the per-node traffic source.
+type nodeState struct {
+	rnd          *rng.Source
+	nextGen      int64
+	seq          uint64
+	logOneMinusQ float64 // cached for geometric inter-arrival sampling
+	active       bool
+}
+
+// Network is a fully wired simulator instance.
+type Network struct {
+	Topo    *topology.Topology
+	Routers []*router.Router
+	Links   []*router.Link
+
+	cfg     *Config
+	mech    routing.Mechanism
+	env     routing.Env
+	pattern traffic.Pattern
+	pb      *pbState
+	nodes   []nodeState
+	pool    sync.Pool
+	genProb float64 // packet generation probability per node per cycle
+}
+
+// NewNetwork builds and wires a network from the configuration. The traffic
+// pattern may be overridden by pat (pass nil to build it from cfg.Pattern).
+func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mech, err := routing.ByName(cfg.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	topo := topology.New(cfg.Topology)
+
+	// Harmonise VC counts with the mechanism's path requirements.
+	rcfg := cfg.Router
+	lvc, gvc := mech.VCNeeds()
+	rcfg.LocalVCs, rcfg.GlobalVCs = lvc, gvc
+	routCfg := cfg.Routing
+	routCfg.LocalVCs, routCfg.GlobalVCs = lvc, gvc
+	routCfg.PacketSize = rcfg.PacketSize
+
+	root := rng.New(cfg.Seed)
+	net := &Network{
+		Topo:    topo,
+		cfg:     cfg,
+		mech:    mech,
+		genProb: cfg.Load / float64(rcfg.PacketSize),
+	}
+	net.pool.New = func() any { return new(packet.Packet) }
+
+	if pat == nil {
+		pat, err = traffic.ByName(topo, cfg.Pattern, root.Split())
+		if err != nil {
+			return nil, err
+		}
+	}
+	net.pattern = pat
+
+	net.env = routing.Env{Topo: topo, Cfg: routCfg}
+	if strings.HasPrefix(mech.Name(), "Src-") {
+		net.pb = newPBState(net, routCfg.PBGlobalRel, routCfg.PacketSize)
+		net.env.Group = net.pb.view
+	}
+
+	// Routers.
+	recycle := func(p *packet.Packet) { net.pool.Put(p) }
+	net.Routers = make([]*router.Router, topo.NumRouters())
+	routerRng := root.Split()
+	for r := range net.Routers {
+		net.Routers[r] = router.New(r, topo, &rcfg, mech, &net.env, routerRng.Split(), recycle)
+		if cfg.Trace != nil {
+			net.Routers[r].SetTrace(cfg.Trace)
+		}
+	}
+
+	// Links: one per direction, created from the sender side.
+	horizon := rcfg.SerialCycles()
+	p := topo.Params()
+	for r := 0; r < topo.NumRouters(); r++ {
+		for l := 0; l < p.A-1; l++ {
+			link := router.NewLink(rcfg.LocalLatency, horizon)
+			nb := topo.LocalNeighbor(r, l)
+			inPort := topo.LocalPortTo(nb, topo.RouterLocalIndex(r))
+			net.Routers[r].ConnectOut(l, link)
+			net.Routers[nb].ConnectIn(inPort, link)
+			net.Links = append(net.Links, link)
+		}
+		for gp := p.A - 1; gp < p.A-1+p.H; gp++ {
+			link := router.NewLink(rcfg.GlobalLatency, horizon)
+			nb, inPort := topo.GlobalNeighbor(r, gp)
+			net.Routers[r].ConnectOut(gp, link)
+			net.Routers[nb].ConnectIn(inPort, link)
+			net.Links = append(net.Links, link)
+		}
+	}
+
+	// Traffic sources.
+	net.nodes = make([]nodeState, topo.NumNodes())
+	nodeRng := root.Split()
+	q := net.genProb
+	for n := range net.nodes {
+		ns := &net.nodes[n]
+		ns.rnd = nodeRng.Split()
+		ns.active = q > 0
+		if app, ok := pat.(*traffic.AppUniform); ok && !app.Member(n) {
+			ns.active = false
+		}
+		if ns.active && q < 1 {
+			ns.logOneMinusQ = math.Log(1 - q)
+		}
+		if ns.active {
+			ns.nextGen = ns.nextArrival(-1, q)
+		}
+	}
+	return net, nil
+}
+
+// nextArrival samples the next Bernoulli(q) success strictly after cycle t.
+func (ns *nodeState) nextArrival(t int64, q float64) int64 {
+	if q >= 1 {
+		return t + 1
+	}
+	u := 1 - ns.rnd.Float64() // in (0,1]
+	gap := int64(math.Log(u)/ns.logOneMinusQ) + 1
+	if gap < 1 {
+		gap = 1
+	}
+	return t + gap
+}
+
+// generate creates the packets due at cycle now for the nodes of router r.
+func (net *Network) generate(r int, now int64) {
+	p := net.Topo.Params()
+	rtr := net.Routers[r]
+	base := r * p.P
+	for i := 0; i < p.P; i++ {
+		ns := &net.nodes[base+i]
+		if !ns.active {
+			continue
+		}
+		for ns.nextGen <= now {
+			ns.nextGen = ns.nextArrival(ns.nextGen, net.genProb)
+			if rtr.InjectionBacklog(i) >= net.cfg.Router.InjectionQueuePackets {
+				rtr.NoteBacklogged()
+				continue
+			}
+			src := base + i
+			dst := net.pattern.Dest(src, ns.rnd)
+			if dst < 0 {
+				continue
+			}
+			pkt := net.pool.Get().(*packet.Packet)
+			pkt.Reset()
+			ns.seq++
+			pkt.ID = uint64(src)<<32 | ns.seq
+			pkt.Src = src
+			pkt.Dst = dst
+			pkt.Size = net.cfg.Router.PacketSize
+			pkt.GenTime = now
+			min := net.Topo.MinimalPathLength(src, dst)
+			pkt.MinLocal, pkt.MinGlobal = min.Local, min.Global
+			net.mech.OnGenerate(&net.env, pkt, ns.rnd)
+			rtr.EnqueueInjection(now, pkt)
+		}
+	}
+}
+
+// InFlight counts packets currently inside the network (buffers and links).
+// O(network); intended for conservation checks and the deadlock watchdog.
+func (net *Network) InFlight() int {
+	n := 0
+	for _, r := range net.Routers {
+		n += r.InFlight()
+	}
+	for _, l := range net.Links {
+		n += l.InFlight()
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// pbState maintains the PiggyBack group-broadcast of global-link saturation
+// bits. It is refreshed once per cycle, before any router steps, from the
+// routers' end-of-previous-cycle state — giving the one-cycle notification
+// delay of a real in-group broadcast while staying race-free under the
+// parallel engine (phase barrier between refresh and stepping).
+//
+// The saturation rule follows the paper (Section II-C, Table I): a global
+// link is saturated when its credit count exceeds a threshold of T=3
+// packets *relative to the other links* — i.e. its queued phits exceed the
+// mean over the same router's global links by T packets. The rule is
+// relative, which is exactly why PB cannot flag the bottleneck router's
+// links under ADVc: all h of them carry the same high load, so none stands
+// out against the mean.
+type pbState struct {
+	topo *topology.Topology
+	net  *Network
+	bits [][]bool // per group: a*h saturation bits
+	// marginPhits is the T-packet margin over the router mean.
+	marginPhits float64
+}
+
+func newPBState(net *Network, thresholdPkts float64, packetSize int) *pbState {
+	t := net.Topo
+	p := t.Params()
+	s := &pbState{topo: t, net: net, marginPhits: thresholdPkts * float64(packetSize)}
+	s.bits = make([][]bool, t.NumGroups())
+	for g := range s.bits {
+		s.bits[g] = make([]bool, p.A*p.H)
+	}
+	return s
+}
+
+// updateGroup recomputes the bits of one group.
+func (s *pbState) updateGroup(g int) {
+	p := s.topo.Params()
+	bits := s.bits[g]
+	for i := 0; i < p.A; i++ {
+		r := s.net.Routers[s.topo.RouterID(g, i)]
+		total := 0
+		base := p.A - 1
+		for k := 0; k < p.H; k++ {
+			total += r.LinkLoad(base + k)
+		}
+		mean := float64(total) / float64(p.H)
+		for k := 0; k < p.H; k++ {
+			load := float64(r.LinkLoad(base + k))
+			bits[i*p.H+k] = load > mean+s.marginPhits
+		}
+	}
+}
+
+// groupView adapts one group's bits to routing.GroupView.
+type groupView struct {
+	s *pbState
+	g int
+}
+
+// GlobalSaturated implements routing.GroupView.
+func (v groupView) GlobalSaturated(localIdx, k int) bool {
+	return v.s.bits[v.g][localIdx*v.s.topo.Params().H+k]
+}
+
+// view returns the routing.GroupView for a group.
+func (s *pbState) view(g int) routing.GroupView { return groupView{s: s, g: g} }

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"time"
+
+	"dragonfly/internal/stats"
+)
+
+// Result holds the measurements of one simulation run.
+type Result struct {
+	// Mechanism and Pattern are the resolved display names.
+	Mechanism string
+	Pattern   string
+	// OfferedLoad is the configured injection rate (phits/node/cycle).
+	OfferedLoad float64
+	// Nodes and MeasuredCycles scale the throughput metrics.
+	Nodes          int
+	MeasuredCycles int64
+	// PerRouter holds one accumulator per router (index = router id).
+	PerRouter []stats.Router
+	// RoutersPerGroup lets callers slice PerRouter by group.
+	RoutersPerGroup int
+	// Wall is the wall-clock duration of the run.
+	Wall time.Duration
+	// Seed echoes the run's seed.
+	Seed uint64
+}
+
+func newResult(net *Network, cfg *Config, wall time.Duration) *Result {
+	res := &Result{
+		Mechanism:       net.mech.Name(),
+		Pattern:         net.pattern.Name(),
+		OfferedLoad:     cfg.Load,
+		Nodes:           net.Topo.NumNodes(),
+		MeasuredCycles:  cfg.MeasureCycles,
+		PerRouter:       make([]stats.Router, len(net.Routers)),
+		RoutersPerGroup: cfg.Topology.A,
+		Wall:            wall,
+		Seed:            cfg.Seed,
+	}
+	for i, r := range net.Routers {
+		res.PerRouter[i] = *r.Stats()
+	}
+	return res
+}
+
+// total returns the network-wide merged accumulator.
+func (r *Result) total() stats.Router {
+	var t stats.Router
+	for i := range r.PerRouter {
+		t.Merge(&r.PerRouter[i])
+	}
+	return t
+}
+
+// Throughput returns the accepted load in phits/(node·cycle) — the y-axis
+// of the right-hand plots of Figures 2 and 5.
+func (r *Result) Throughput() float64 {
+	t := r.total()
+	return float64(t.DeliveredPhits) / (float64(r.Nodes) * float64(r.MeasuredCycles))
+}
+
+// AvgLatency returns the mean packet latency in cycles — the y-axis of the
+// left-hand plots of Figures 2 and 5. It returns 0 when nothing was
+// delivered.
+func (r *Result) AvgLatency() float64 {
+	t := r.total()
+	if t.Delivered == 0 {
+		return 0
+	}
+	return float64(t.LatencySum) / float64(t.Delivered)
+}
+
+// MaxLatency returns the maximum delivered-packet latency in cycles.
+func (r *Result) MaxLatency() int64 { return r.total().MaxLatency }
+
+// LatencyQuantile returns an upper-bound estimate of the q-quantile packet
+// latency (e.g. 0.99 for p99), from the logarithmic latency histogram.
+func (r *Result) LatencyQuantile(q float64) int64 {
+	t := r.total()
+	return t.Latencies.Quantile(q)
+}
+
+// ThroughputBatches returns the accepted load of each batch-means span of
+// the measurement window, in phits/(node·cycle).
+func (r *Result) ThroughputBatches() []float64 {
+	t := r.total()
+	out := make([]float64, stats.Batches)
+	span := float64(r.MeasuredCycles) / stats.Batches
+	for i, phits := range t.BatchPhits {
+		out[i] = float64(phits) / (float64(r.Nodes) * span)
+	}
+	return out
+}
+
+// ThroughputCI returns the batch-means estimate of the accepted load with
+// its 95% confidence half-width. A wide interval signals the measurement
+// window has not reached steady state.
+func (r *Result) ThroughputCI() stats.BatchMeans {
+	return stats.ComputeBatchMeans(r.ThroughputBatches())
+}
+
+// GroupDelivered returns the packets delivered to each router of a group —
+// the consumption-side counterpart of GroupInjections.
+func (r *Result) GroupDelivered(group int) []int64 {
+	out := make([]int64, r.RoutersPerGroup)
+	base := group * r.RoutersPerGroup
+	for i := range out {
+		out[i] = r.PerRouter[base+i].Delivered
+	}
+	return out
+}
+
+// Delivered returns the number of packets delivered in the window.
+func (r *Result) Delivered() int64 { return r.total().Delivered }
+
+// Generated returns the number of packets generated in the window.
+func (r *Result) Generated() int64 { return r.total().Generated }
+
+// Backlogged returns generation attempts refused by full source queues.
+func (r *Result) Backlogged() int64 { return r.total().Backlogged }
+
+// Breakdown returns the average latency decomposition of Figure 3.
+func (r *Result) Breakdown() stats.Breakdown {
+	t := r.total()
+	if t.Delivered == 0 {
+		return stats.Breakdown{}
+	}
+	d := float64(t.Delivered)
+	return stats.Breakdown{
+		Base:       float64(t.BaseSum) / d,
+		Misroute:   float64(t.MisrouteSum) / d,
+		WaitLocal:  float64(t.WaitLocalSum) / d,
+		WaitGlobal: float64(t.WaitGlobalSum) / d,
+		WaitInj:    float64(t.WaitInjSum) / d,
+	}
+}
+
+// Injections returns the per-router injected packet counts for the whole
+// network.
+func (r *Result) Injections() []int64 {
+	out := make([]int64, len(r.PerRouter))
+	for i := range r.PerRouter {
+		out[i] = r.PerRouter[i].Injected
+	}
+	return out
+}
+
+// GroupInjections returns the injected packet counts of the routers of one
+// group, ordered R0..R(a-1) — the bars of Figures 4 and 6.
+func (r *Result) GroupInjections(group int) []int64 {
+	out := make([]int64, r.RoutersPerGroup)
+	base := group * r.RoutersPerGroup
+	for i := range out {
+		out[i] = r.PerRouter[base+i].Injected
+	}
+	return out
+}
+
+// Fairness returns the Section IV-B fairness metrics over all routers of
+// the network, as in Tables II and III.
+func (r *Result) Fairness() stats.Fairness {
+	return stats.ComputeFairness(r.Injections())
+}

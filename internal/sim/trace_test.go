@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"dragonfly/internal/packet"
+	"dragonfly/internal/router"
+)
+
+type traceEvent struct {
+	now    int64
+	kind   router.TraceKind
+	id     uint64
+	router int
+	port   int
+}
+
+// A traced packet's event stream must be temporally ordered, contain one
+// grant+send pair per router visited, and end with a delivery at the
+// destination router.
+func TestTraceReconstructsPaths(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "Obl-RRG"
+	cfg.Pattern = "ADVc"
+	cfg.Load = 0.2
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 800
+	cfg.Workers = 1 // single-threaded so the plain slice below is safe
+
+	events := map[uint64][]traceEvent{}
+	cfg.Trace = func(now int64, kind router.TraceKind, p *packet.Packet, rid, port, vc int) {
+		events[p.ID] = append(events[p.ID], traceEvent{now, kind, p.ID, rid, port})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered() == 0 || len(events) == 0 {
+		t.Fatal("nothing traced")
+	}
+
+	checked := 0
+	for id, evs := range events {
+		last := evs[len(evs)-1]
+		if last.kind != router.TraceDeliver {
+			continue // packet still in flight at simulation end
+		}
+		checked++
+		var prev int64 = -1
+		grants, sends := 0, 0
+		for _, e := range evs {
+			if e.now < prev {
+				t.Fatalf("packet %d: time went backwards in trace", id)
+			}
+			prev = e.now
+			switch e.kind {
+			case router.TraceGrant:
+				grants++
+			case router.TraceLinkSend:
+				sends++
+			}
+		}
+		if grants != sends {
+			t.Fatalf("packet %d: %d grants but %d sends", id, grants, sends)
+		}
+		if grants < 1 || grants > 7 {
+			t.Fatalf("packet %d: implausible hop count %d", id, grants)
+		}
+		if checked > 200 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no delivered packet fully traced")
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	for _, k := range []router.TraceKind{router.TraceGrant, router.TraceLinkSend, router.TraceDeliver} {
+		if k.String() == "" || k.String() == "trace(?)" {
+			t.Errorf("TraceKind %d has no name", k)
+		}
+	}
+	if router.TraceKind(9).String() != "trace(?)" {
+		t.Error("unknown kind misnamed")
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatchMeansEmpty(t *testing.T) {
+	bm := ComputeBatchMeans(nil)
+	if bm.Mean != 0 || bm.HalfCI95 != 0 {
+		t.Errorf("empty batch means = %+v", bm)
+	}
+}
+
+func TestBatchMeansSingle(t *testing.T) {
+	bm := ComputeBatchMeans([]float64{0.4})
+	if bm.Mean != 0.4 || bm.HalfCI95 != 0 {
+		t.Errorf("single batch = %+v", bm)
+	}
+}
+
+func TestBatchMeansConstant(t *testing.T) {
+	bm := ComputeBatchMeans([]float64{0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4})
+	if math.Abs(bm.Mean-0.4) > 1e-12 {
+		t.Errorf("mean = %v", bm.Mean)
+	}
+	if bm.HalfCI95 > 1e-12 {
+		t.Errorf("constant series CI = %v, want ~0", bm.HalfCI95)
+	}
+}
+
+func TestBatchMeansKnownValues(t *testing.T) {
+	// Two batches 0 and 2: mean 1, sample sd sqrt(2), stderr 1,
+	// t(1 dof) = 12.706.
+	bm := ComputeBatchMeans([]float64{0, 2})
+	if math.Abs(bm.Mean-1) > 1e-12 {
+		t.Errorf("mean = %v", bm.Mean)
+	}
+	if math.Abs(bm.HalfCI95-12.706) > 1e-9 {
+		t.Errorf("half CI = %v, want 12.706", bm.HalfCI95)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical95(0) != 0 {
+		t.Error("dof 0 should yield 0")
+	}
+	if tCritical95(7) != 2.365 {
+		t.Errorf("t(7) = %v", tCritical95(7))
+	}
+	if tCritical95(1000) != 1.960 {
+		t.Errorf("t(1000) = %v", tCritical95(1000))
+	}
+}
+
+func TestBatchPhitsMerge(t *testing.T) {
+	a := Router{}
+	b := Router{}
+	a.BatchPhits[0] = 8
+	b.BatchPhits[0] = 16
+	b.BatchPhits[7] = 24
+	a.Merge(&b)
+	if a.BatchPhits[0] != 24 || a.BatchPhits[7] != 24 {
+		t.Errorf("batch merge wrong: %v", a.BatchPhits)
+	}
+}

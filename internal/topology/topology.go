@@ -1,0 +1,361 @@
+// Package topology models canonical Dragonfly networks: two-level
+// hierarchical direct networks with fully connected groups of routers and a
+// fully connected inter-group graph (Kim et al., ISCA 2008; Camarero et al.,
+// TACO 2014).
+//
+// A canonical Dragonfly is described by three parameters:
+//
+//   - p: compute nodes attached to every router,
+//   - a: routers per group,
+//   - h: global (inter-group) links per router.
+//
+// With g = a*h+1 groups every pair of groups is joined by exactly one global
+// link, so minimal paths are unique and at most three hops long
+// (local, global, local). The package provides the identifier spaces for
+// groups, routers, nodes and ports, the global link arrangement (which router
+// of a group owns the link towards each remote group), and minimal-path
+// queries used by every routing mechanism.
+package topology
+
+import (
+	"fmt"
+)
+
+// Arrangement selects how the a*h global links of a group are distributed
+// among its routers. The arrangement determines which router of a group
+// becomes the bottleneck under consecutive adversarial traffic.
+type Arrangement int
+
+const (
+	// Palmtree is the arrangement used throughout the paper: router i,
+	// global port k of group g connects to group g-(i*h+k+1) mod G.
+	// Consequently router a-1 owns the links towards the h groups that
+	// follow g (+1..+h) and router 0 receives the reciprocal links from
+	// the h preceding groups.
+	Palmtree Arrangement = iota
+	// Consecutive numbers the group's global links j = i*h+k in order:
+	// link j connects to group g+(j+1) mod G. Router 0 owns the links
+	// towards +1..+h.
+	Consecutive
+)
+
+// String returns the conventional lowercase arrangement name.
+func (ar Arrangement) String() string {
+	switch ar {
+	case Palmtree:
+		return "palmtree"
+	case Consecutive:
+		return "consecutive"
+	default:
+		return fmt.Sprintf("arrangement(%d)", int(ar))
+	}
+}
+
+// Params describes a canonical Dragonfly.
+type Params struct {
+	P int // nodes per router
+	A int // routers per group
+	H int // global links per router
+
+	Arrangement Arrangement
+}
+
+// Balanced returns the balanced canonical Dragonfly for a given h,
+// following the a = 2h, p = h sizing rule from Kim et al. The paper's
+// network is Balanced(6): 73 groups, 876 routers, 5,256 nodes.
+func Balanced(h int) Params {
+	return Params{P: h, A: 2 * h, H: h, Arrangement: Palmtree}
+}
+
+// Validate reports whether the parameters describe a legal canonical
+// Dragonfly that this package can represent.
+func (p Params) Validate() error {
+	switch {
+	case p.P <= 0:
+		return fmt.Errorf("topology: p must be positive, got %d", p.P)
+	case p.A <= 1:
+		return fmt.Errorf("topology: a must be at least 2, got %d", p.A)
+	case p.H <= 0:
+		return fmt.Errorf("topology: h must be positive, got %d", p.H)
+	case p.Arrangement != Palmtree && p.Arrangement != Consecutive:
+		return fmt.Errorf("topology: unknown arrangement %v", p.Arrangement)
+	}
+	return nil
+}
+
+// Groups returns the number of groups, a*h+1.
+func (p Params) Groups() int { return p.A*p.H + 1 }
+
+// Routers returns the total number of routers in the network.
+func (p Params) Routers() int { return p.Groups() * p.A }
+
+// Nodes returns the total number of compute nodes in the network.
+func (p Params) Nodes() int { return p.Routers() * p.P }
+
+// RouterRadix returns the number of ports per router:
+// (a-1) local + h global + p injection.
+func (p Params) RouterRadix() int { return p.A - 1 + p.H + p.P }
+
+func (p Params) String() string {
+	return fmt.Sprintf("dragonfly(p=%d,a=%d,h=%d,%v: %d groups, %d routers, %d nodes)",
+		p.P, p.A, p.H, p.Arrangement, p.Groups(), p.Routers(), p.Nodes())
+}
+
+// Port classes. Every router numbers its ports as
+// [0, a-1) local, [a-1, a-1+h) global, [a-1+h, a-1+h+p) injection/ejection.
+type PortClass int
+
+const (
+	LocalPort PortClass = iota
+	GlobalPort
+	InjectionPort
+)
+
+// String returns the lowercase class name.
+func (c PortClass) String() string {
+	switch c {
+	case LocalPort:
+		return "local"
+	case GlobalPort:
+		return "global"
+	case InjectionPort:
+		return "injection"
+	default:
+		return fmt.Sprintf("portclass(%d)", int(c))
+	}
+}
+
+// Topology is an immutable, fully precomputed Dragonfly instance. All
+// methods are safe for concurrent use.
+type Topology struct {
+	params Params
+
+	groups  int
+	routers int
+	nodes   int
+
+	// offsetRouter[d-1] and offsetPort[d-1] give, for a destination group
+	// at offset d (1..a*h) from the source group, the local router index
+	// and global port index that own the link towards it. Both
+	// arrangements are group-transitive, so one table serves every group.
+	offsetRouter []int
+	offsetPort   []int
+
+	// portOffset[i*h+k] is the group offset reached by router i, global
+	// port k (the inverse of the tables above).
+	portOffset []int
+}
+
+// New builds a Topology from params. It panics if params are invalid;
+// use Params.Validate to check untrusted input first.
+func New(params Params) *Topology {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Topology{
+		params:  params,
+		groups:  params.Groups(),
+		routers: params.Routers(),
+		nodes:   params.Nodes(),
+	}
+	ah := params.A * params.H
+	t.offsetRouter = make([]int, ah)
+	t.offsetPort = make([]int, ah)
+	t.portOffset = make([]int, ah)
+	for d := 1; d <= ah; d++ {
+		var j int // global link index i*h+k within the group
+		switch params.Arrangement {
+		case Palmtree:
+			// (g,i,k) -> g-(i*h+k+1), so offset d corresponds to
+			// i*h+k+1 = G-d, i.e. j = a*h-d.
+			j = ah - d
+		case Consecutive:
+			// link j -> offset j+1.
+			j = d - 1
+		}
+		t.offsetRouter[d-1] = j / params.H
+		t.offsetPort[d-1] = j % params.H
+		t.portOffset[j] = d
+	}
+	return t
+}
+
+// Params returns the parameters this topology was built from.
+func (t *Topology) Params() Params { return t.params }
+
+// NumGroups returns the number of groups.
+func (t *Topology) NumGroups() int { return t.groups }
+
+// NumRouters returns the total router count.
+func (t *Topology) NumRouters() int { return t.routers }
+
+// NumNodes returns the total node count.
+func (t *Topology) NumNodes() int { return t.nodes }
+
+// RouterGroup returns the group a router belongs to.
+func (t *Topology) RouterGroup(r int) int { return r / t.params.A }
+
+// RouterLocalIndex returns a router's index within its group (0..a-1).
+func (t *Topology) RouterLocalIndex(r int) int { return r % t.params.A }
+
+// RouterID returns the global router identifier for a (group, local index)
+// pair.
+func (t *Topology) RouterID(group, localIdx int) int { return group*t.params.A + localIdx }
+
+// NodeRouter returns the router a node is attached to.
+func (t *Topology) NodeRouter(n int) int { return n / t.params.P }
+
+// NodeGroup returns the group a node belongs to.
+func (t *Topology) NodeGroup(n int) int { return t.RouterGroup(t.NodeRouter(n)) }
+
+// NodeID returns the node identifier for (router, node index at router).
+func (t *Topology) NodeID(router, idx int) int { return router*t.params.P + idx }
+
+// NodePort returns the injection/ejection port a node uses at its router.
+func (t *Topology) NodePort(n int) int {
+	return t.params.A - 1 + t.params.H + n%t.params.P
+}
+
+// PortClass classifies a port number of any router.
+func (t *Topology) PortClass(port int) PortClass {
+	switch {
+	case port < t.params.A-1:
+		return LocalPort
+	case port < t.params.A-1+t.params.H:
+		return GlobalPort
+	default:
+		return InjectionPort
+	}
+}
+
+// NumPorts returns the router radix.
+func (t *Topology) NumPorts() int { return t.params.RouterRadix() }
+
+// LocalPortTo returns the local port of router r that connects to the
+// router with local index dstIdx in the same group. It panics if dstIdx is
+// the router itself.
+func (t *Topology) LocalPortTo(r, dstIdx int) int {
+	self := t.RouterLocalIndex(r)
+	if dstIdx == self {
+		panic("topology: local port to self")
+	}
+	// Local port l of router i connects to local index l when l < i and
+	// l+1 otherwise, so the inverse is:
+	if dstIdx < self {
+		return dstIdx
+	}
+	return dstIdx - 1
+}
+
+// LocalNeighbor returns the router reached through local port l of router r.
+func (t *Topology) LocalNeighbor(r, l int) int {
+	self := t.RouterLocalIndex(r)
+	idx := l
+	if l >= self {
+		idx = l + 1
+	}
+	return t.RouterID(t.RouterGroup(r), idx)
+}
+
+// GlobalNeighbor returns the router and input port reached through global
+// port gp (a-1 <= gp < a-1+h) of router r.
+func (t *Topology) GlobalNeighbor(r, gp int) (router, port int) {
+	k := gp - (t.params.A - 1)
+	i := t.RouterLocalIndex(r)
+	g := t.RouterGroup(r)
+	d := t.portOffset[i*t.params.H+k]
+	dstGroup := (g + d) % t.groups
+	// The reciprocal link sits at the entry for offset G-d in the
+	// destination group's tables.
+	back := t.groups - d
+	dstIdx := t.offsetRouter[back-1]
+	dstPort := t.params.A - 1 + t.offsetPort[back-1]
+	return t.RouterID(dstGroup, dstIdx), dstPort
+}
+
+// GroupOffset returns the offset (1..G-1) of group dst relative to group src.
+func (t *Topology) GroupOffset(src, dst int) int {
+	return ((dst-src)%t.groups + t.groups) % t.groups
+}
+
+// GlobalRouterFor returns the local index of the router in group src that
+// owns the global link towards group dst, and the global port number of
+// that link. src and dst must differ.
+func (t *Topology) GlobalRouterFor(src, dst int) (localIdx, port int) {
+	d := t.GroupOffset(src, dst)
+	if d == 0 {
+		panic("topology: GlobalRouterFor within one group")
+	}
+	return t.offsetRouter[d-1], t.params.A - 1 + t.offsetPort[d-1]
+}
+
+// GlobalPortTo returns the global port of router r that connects directly
+// to group dst, or -1 if r does not own that link.
+func (t *Topology) GlobalPortTo(r, dst int) int {
+	g := t.RouterGroup(r)
+	if g == dst {
+		return -1
+	}
+	idx, port := t.GlobalRouterFor(g, dst)
+	if idx != t.RouterLocalIndex(r) {
+		return -1
+	}
+	return port
+}
+
+// DirectGroups appends to dst the h groups directly connected to router r,
+// in global-port order, and returns the extended slice.
+func (t *Topology) DirectGroups(dst []int, r int) []int {
+	g := t.RouterGroup(r)
+	i := t.RouterLocalIndex(r)
+	for k := 0; k < t.params.H; k++ {
+		d := t.portOffset[i*t.params.H+k]
+		dst = append(dst, (g+d)%t.groups)
+	}
+	return dst
+}
+
+// BottleneckRouter returns the local index of the router that owns the
+// global links towards the h consecutive groups +1..+h — the router the
+// ADVc traffic pattern congests. For the palmtree arrangement this is
+// router a-1; for the consecutive arrangement it is router 0.
+func (t *Topology) BottleneckRouter() int {
+	idx, _ := t.GlobalRouterFor(0, 1)
+	return idx
+}
+
+// PathLength holds the hop composition of a path.
+type PathLength struct {
+	Local  int // local links traversed
+	Global int // global links traversed
+}
+
+// Hops returns the total number of links.
+func (l PathLength) Hops() int { return l.Local + l.Global }
+
+// MinimalPathLength returns the hop composition of the unique minimal path
+// between two nodes.
+func (t *Topology) MinimalPathLength(src, dst int) PathLength {
+	if src == dst {
+		return PathLength{}
+	}
+	rs, rd := t.NodeRouter(src), t.NodeRouter(dst)
+	if rs == rd {
+		return PathLength{}
+	}
+	gs, gd := t.RouterGroup(rs), t.RouterGroup(rd)
+	if gs == gd {
+		return PathLength{Local: 1}
+	}
+	var l PathLength
+	l.Global = 1
+	exitIdx, _ := t.GlobalRouterFor(gs, gd)
+	if exitIdx != t.RouterLocalIndex(rs) {
+		l.Local++
+	}
+	entryIdx, _ := t.GlobalRouterFor(gd, gs)
+	if entryIdx != t.RouterLocalIndex(rd) {
+		l.Local++
+	}
+	return l
+}

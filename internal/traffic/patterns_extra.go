@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dragonfly/internal/rng"
+	"dragonfly/internal/topology"
+)
+
+// This file holds the classic node-level synthetic patterns found in
+// interconnect simulators beyond the three the paper evaluates. They are
+// useful for ablations and for validating the simulator against known
+// behaviours (e.g. tornado traffic is the group-level worst case for
+// minimal routing on any ring-like arrangement).
+
+// Tornado sends all traffic from group g to group g + floor(G/2): the
+// maximum-distance adversarial pattern. On a canonical Dragonfly it is an
+// ADV+k instance, provided for convenience under its conventional name.
+func NewTornado(t *topology.Topology) *Adversarial {
+	return NewAdversarial(t, t.NumGroups()/2)
+}
+
+// BitReverse is the node-level bit-reversal permutation: node i sends to
+// the node whose index is i's bit pattern reversed within the smallest
+// power of two covering the network; indices that land outside the node
+// range fall back to a deterministic fold. Exercise: unlike UN it is a
+// fixed permutation, so per-link load is deterministic.
+type BitReverse struct {
+	topo  *topology.Topology
+	width uint
+}
+
+// NewBitReverse builds the bit-reversal pattern.
+func NewBitReverse(t *topology.Topology) *BitReverse {
+	n := t.NumNodes()
+	width := uint(bits.Len(uint(n - 1)))
+	return &BitReverse{topo: t, width: width}
+}
+
+// Name implements Pattern.
+func (*BitReverse) Name() string { return "BITREV" }
+
+// Dest implements Pattern.
+func (b *BitReverse) Dest(src int, _ *rng.Source) int {
+	n := b.topo.NumNodes()
+	d := int(bits.Reverse(uint(src)) >> (bits.UintSize - b.width))
+	d %= n
+	if d == src {
+		d = (d + n/2) % n
+	}
+	return d
+}
+
+// GroupShuffle sends traffic from group g to group (g*2+1) mod G with a
+// uniform node inside — a shuffle-style pattern that spreads bottlenecks
+// across different routers of each group (unlike ADVc, which concentrates
+// them on one).
+type GroupShuffle struct {
+	topo *topology.Topology
+}
+
+// NewGroupShuffle builds the shuffle pattern.
+func NewGroupShuffle(t *topology.Topology) *GroupShuffle {
+	return &GroupShuffle{topo: t}
+}
+
+// Name implements Pattern.
+func (*GroupShuffle) Name() string { return "SHUFFLE" }
+
+// Dest implements Pattern.
+func (s *GroupShuffle) Dest(src int, rnd *rng.Source) int {
+	g := s.topo.NodeGroup(src)
+	dg := (2*g + 1) % s.topo.NumGroups()
+	if dg == g {
+		dg = (dg + 1) % s.topo.NumGroups()
+	}
+	for {
+		d := randomNode(s.topo, dg, rnd)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Hotspot sends a fraction of traffic to a single hot node and the rest
+// uniformly — the classic incast-style stress for ejection ports.
+type Hotspot struct {
+	topo     *topology.Topology
+	hot      int
+	fraction float64
+	uniform  *Uniform
+}
+
+// NewHotspot builds a hotspot pattern directing fraction of the packets at
+// node hot.
+func NewHotspot(t *topology.Topology, hot int, fraction float64) *Hotspot {
+	if hot < 0 || hot >= t.NumNodes() {
+		panic(fmt.Sprintf("traffic: hotspot node %d out of range", hot))
+	}
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("traffic: hotspot fraction %v out of [0,1]", fraction))
+	}
+	return &Hotspot{topo: t, hot: hot, fraction: fraction, uniform: NewUniform(t)}
+}
+
+// Name implements Pattern.
+func (h *Hotspot) Name() string { return fmt.Sprintf("HOT[%d@%.0f%%]", h.hot, h.fraction*100) }
+
+// Dest implements Pattern.
+func (h *Hotspot) Dest(src int, rnd *rng.Source) int {
+	if src != h.hot && rnd.Bernoulli(h.fraction) {
+		return h.hot
+	}
+	return h.uniform.Dest(src, rnd)
+}

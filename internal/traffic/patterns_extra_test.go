@@ -1,0 +1,122 @@
+package traffic
+
+import (
+	"testing"
+
+	"dragonfly/internal/rng"
+)
+
+func TestTornadoOffset(t *testing.T) {
+	tp := newTopo() // 9 groups
+	tor := NewTornado(tp)
+	r := rng.New(21)
+	for src := 0; src < tp.NumNodes(); src += 9 {
+		d := tor.Dest(src, r)
+		if off := tp.GroupOffset(tp.NodeGroup(src), tp.NodeGroup(d)); off != 4 {
+			t.Fatalf("tornado offset %d, want G/2 = 4", off)
+		}
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	tp := newTopo()
+	br := NewBitReverse(tp)
+	r := rng.New(22)
+	for src := 0; src < tp.NumNodes(); src++ {
+		d := br.Dest(src, r)
+		if d == src {
+			t.Fatalf("bit-reverse fixed point at %d", src)
+		}
+		if d < 0 || d >= tp.NumNodes() {
+			t.Fatalf("bit-reverse out of range: %d -> %d", src, d)
+		}
+		// Deterministic.
+		if d2 := br.Dest(src, r); d2 != d {
+			t.Fatalf("bit-reverse not deterministic at %d", src)
+		}
+	}
+	if br.Name() != "BITREV" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGroupShuffle(t *testing.T) {
+	tp := newTopo()
+	s := NewGroupShuffle(tp)
+	r := rng.New(23)
+	for src := 0; src < tp.NumNodes(); src += 5 {
+		d := s.Dest(src, r)
+		g := tp.NodeGroup(src)
+		want := (2*g + 1) % tp.NumGroups()
+		if want == g {
+			want = (want + 1) % tp.NumGroups()
+		}
+		if tp.NodeGroup(d) != want {
+			t.Fatalf("shuffle: group %d -> %d, want %d", g, tp.NodeGroup(d), want)
+		}
+		if d == src {
+			t.Fatal("shuffle returned source")
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	tp := newTopo()
+	hot := 7
+	h := NewHotspot(tp, hot, 0.5)
+	r := rng.New(24)
+	hits := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		d := h.Dest(0, r)
+		if d == 0 {
+			t.Fatal("hotspot returned source")
+		}
+		if d == hot {
+			hits++
+		}
+	}
+	// ~50% direct hits plus ~1/n of the uniform remainder.
+	if hits < trials*4/10 || hits > trials*6/10 {
+		t.Errorf("hot node hit %d/%d times, want ~half", hits, trials)
+	}
+	// The hot node itself sends uniformly.
+	if d := h.Dest(hot, r); d == hot {
+		t.Error("hot node sent to itself")
+	}
+}
+
+func TestHotspotPanics(t *testing.T) {
+	tp := newTopo()
+	for _, bad := range []struct {
+		node int
+		frac float64
+	}{{-1, 0.5}, {tp.NumNodes(), 0.5}, {0, -0.1}, {0, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("hotspot(%d,%v) accepted", bad.node, bad.frac)
+				}
+			}()
+			NewHotspot(tp, bad.node, bad.frac)
+		}()
+	}
+}
+
+func TestByNameExtraPatterns(t *testing.T) {
+	tp := newTopo()
+	r := rng.New(25)
+	for name, want := range map[string]string{
+		"TORNADO": "ADV+4",
+		"BITREV":  "BITREV",
+		"SHUFFLE": "SHUFFLE",
+	} {
+		p, err := ByName(tp, name, r)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+}
