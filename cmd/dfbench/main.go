@@ -1,0 +1,172 @@
+// dfbench is the engine benchmark-regression harness: it times the dense
+// reference engine against the active-router scheduler engine on the
+// standard engine benchmark configurations (BenchmarkEngineSequential /
+// BenchmarkEngineParallel operating points plus a saturation regression
+// guard), verifies the two produce bit-identical results, and writes the
+// measurements to BENCH_engine.json so successive PRs accumulate a
+// performance trajectory.
+//
+// Usage:
+//
+//	dfbench                  # writes BENCH_engine.json in the cwd
+//	dfbench -o out.json -reps 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+)
+
+// scenario is one engine measurement point.
+type scenario struct {
+	Name    string  `json:"name"`
+	H       int     `json:"balanced_h"`
+	Mech    string  `json:"mechanism"`
+	Pattern string  `json:"pattern"`
+	Load    float64 `json:"load"`
+	Cycles  int64   `json:"cycles"`
+	Workers int     `json:"workers"`
+
+	RefNs      int64   `json:"ref_ns"`
+	SchedNs    int64   `json:"sched_ns"`
+	Speedup    float64 `json:"speedup"`
+	RefSteps   int64   `json:"ref_router_steps"`
+	SchedSteps int64   `json:"sched_router_steps"`
+	StepShare  float64 `json:"sched_step_share"`
+	Identical  bool    `json:"bit_identical"`
+}
+
+type output struct {
+	Generated string     `json:"generated"`
+	GoVersion string     `json:"go_version"`
+	NumCPU    int        `json:"num_cpu"`
+	Reps      int        `json:"reps_best_of"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+func engineCfg(h int, load float64, workers int, cycles int64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Topology = topology.Balanced(h)
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Pattern = "UN"
+	cfg.Load = load
+	cfg.WarmupCycles = cycles / 5
+	cfg.MeasureCycles = cycles - cfg.WarmupCycles
+	cfg.Workers = workers
+	return cfg
+}
+
+// measure runs fn on a fresh network reps times and returns the best wall
+// time, the last run's router-step count, and the last run's result.
+func measure(cfg sim.Config, reps int, fn func(*sim.Network, *sim.Config) error) (time.Duration, int64, *sim.Result, error) {
+	best := time.Duration(0)
+	var steps int64
+	var res *sim.Result
+	for i := 0; i < reps; i++ {
+		net, err := sim.NewNetwork(&cfg, nil)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		start := time.Now()
+		if err := fn(net, &cfg); err != nil {
+			return 0, 0, nil, err
+		}
+		wall := time.Since(start)
+		if best == 0 || wall < best {
+			best = wall
+		}
+		steps = net.EngineSteps()
+		res = sim.NewResultFrom(net, &cfg, wall)
+	}
+	return best, steps, res, nil
+}
+
+func identical(a, b *sim.Result) bool {
+	if len(a.PerRouter) != len(b.PerRouter) {
+		return false
+	}
+	for i := range a.PerRouter {
+		if a.PerRouter[i] != b.PerRouter[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output file")
+	reps := flag.Int("reps", 3, "repetitions per point (best-of)")
+	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
+
+	// The first three points are the ISSUE's acceptance band (load
+	// 0.1–0.3 on the BenchmarkEngineSequential configuration), then the
+	// saturation guard, then the BenchmarkEngineParallel configuration.
+	points := []scenario{
+		{Name: "sequential/load010", H: 3, Load: 0.10, Cycles: 1000, Workers: 1},
+		{Name: "sequential/load020", H: 3, Load: 0.20, Cycles: 1000, Workers: 1},
+		{Name: "sequential/load030", H: 3, Load: 0.30, Cycles: 1000, Workers: 1},
+		{Name: "sequential/load060-saturated", H: 3, Load: 0.60, Cycles: 1000, Workers: 1},
+		{Name: "parallel/load010", H: 4, Load: 0.10, Cycles: 500, Workers: 2},
+		{Name: "parallel/load030", H: 4, Load: 0.30, Cycles: 500, Workers: 2},
+	}
+
+	result := output{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Reps:      *reps,
+	}
+	for _, p := range points {
+		cfg := engineCfg(p.H, p.Load, p.Workers, p.Cycles)
+		p.Mech, p.Pattern = cfg.Mechanism, cfg.Pattern
+
+		refWall, refSteps, refRes, err := measure(cfg, *reps, sim.RunNetworkReference)
+		if err != nil {
+			fatal(err)
+		}
+		schedWall, schedSteps, schedRes, err := measure(cfg, *reps, sim.RunNetwork)
+		if err != nil {
+			fatal(err)
+		}
+		p.RefNs = refWall.Nanoseconds()
+		p.SchedNs = schedWall.Nanoseconds()
+		p.Speedup = float64(refWall) / float64(schedWall)
+		p.RefSteps = refSteps
+		p.SchedSteps = schedSteps
+		p.StepShare = float64(schedSteps) / float64(refSteps)
+		p.Identical = identical(refRes, schedRes)
+		result.Scenarios = append(result.Scenarios, p)
+		fmt.Printf("%-30s ref %8.2fms  sched %8.2fms  speedup %.2fx  steps %5.1f%%  identical %v\n",
+			p.Name, float64(p.RefNs)/1e6, float64(p.SchedNs)/1e6, p.Speedup, 100*p.StepShare, p.Identical)
+		if !p.Identical {
+			fatal(fmt.Errorf("%s: engines diverged — do not trust the timings", p.Name))
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfbench:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dragonfly/internal/packet"
 )
@@ -15,12 +16,34 @@ import (
 // per channel, and sender and receiver always touch slots at least one cycle
 // apart, so a Link may be shared by two routers stepped concurrently without
 // locks.
+//
+// Slots are addressed modulo the ring size, so every event MUST be popped
+// at exactly the cycle it was scheduled for — a receiver that sleeps
+// through an arrival would later read a stale slot or make the sender panic
+// on a slot collision. The active-router scheduler upholds this by waking
+// the receiving router at every PushPacket/PushCredit arrival cycle (see
+// Router.SetEventSink); engines that step every router every cycle satisfy
+// it trivially.
 type Link struct {
 	latency int
-	size    int64
+	mask    int64 // ring size - 1 (power of two, so slot = cycle & mask)
 
 	pkts    []*packet.Packet
 	credits []creditEvent
+
+	// Pending-event time queues for the active-router scheduler: arrival
+	// cycles in push order (senders emit in strictly increasing time, so
+	// each queue is sorted and its head is the earliest in-flight event).
+	// The tails are sender-owned, the heads receiver-owned; the opposite
+	// side only reads them for emptiness checks, where a one-cycle-stale
+	// value is harmless (same-cycle pushes are never same-cycle due), so
+	// atomic counters suffice — no locks.
+	pktT    []int64
+	pktHead atomic.Int64
+	pktTail atomic.Int64
+	crdT    []int64
+	crdHead atomic.Int64
+	crdTail atomic.Int64
 }
 
 type creditEvent struct {
@@ -34,52 +57,116 @@ func NewLink(latency, horizon int) *Link {
 	if latency <= 0 {
 		panic("router: link latency must be positive")
 	}
-	size := latency + horizon + 2
+	size := 1
+	for size < latency+horizon+2 {
+		size <<= 1 // power of two: slot indexing by mask, not division
+	}
 	return &Link{
 		latency: latency,
-		size:    int64(size),
+		mask:    int64(size - 1),
 		pkts:    make([]*packet.Packet, size),
 		credits: make([]creditEvent, size),
+		pktT:    make([]int64, size),
+		crdT:    make([]int64, size),
 	}
 }
 
 // Latency returns the propagation latency in cycles.
 func (l *Link) Latency() int { return l.latency }
 
-// PushPacket schedules p to arrive at cycle at. It panics if the slot is
-// occupied — that would mean the sender violated the serialisation rule.
+// PushPacket schedules p to arrive at cycle at. Pushes on one link must
+// use strictly increasing arrival cycles — automatic for a serializing
+// sender, and what keeps the pending queue sorted. It panics if the slot
+// is occupied or time order is violated: either would mean the sender
+// broke the serialisation rule.
 func (l *Link) PushPacket(at int64, p *packet.Packet) {
-	idx := at % l.size
+	idx := at & l.mask
 	if l.pkts[idx] != nil {
 		panic(fmt.Sprintf("router: packet slot collision at cycle %d", at))
 	}
+	tail := l.pktTail.Load() // sender-owned
+	if tail != l.pktHead.Load() && l.pktT[(tail-1)&l.mask] >= at {
+		panic(fmt.Sprintf("router: out-of-order packet push at cycle %d", at))
+	}
 	l.pkts[idx] = p
+	l.pktT[tail&l.mask] = at
+	l.pktTail.Store(tail + 1)
 }
 
-// PopPacket returns the packet arriving at cycle at, or nil.
+// PopPacket returns the packet arriving at cycle at, or nil. An idle link
+// answers from the header alone (the pending count shares the mask's cache
+// line), without touching the slot ring.
 func (l *Link) PopPacket(at int64) *packet.Packet {
-	idx := at % l.size
+	head := l.pktHead.Load() // receiver-owned
+	if head == l.pktTail.Load() {
+		return nil
+	}
+	idx := at & l.mask
 	p := l.pkts[idx]
+	if p == nil {
+		return nil
+	}
 	l.pkts[idx] = nil
+	l.pktHead.Store(head + 1) // ordered arrivals: the popped event is the head
 	return p
 }
 
+// EarliestPacket returns the arrival cycle of the earliest packet in
+// flight, or -1. Only valid between cycles (see the scheduler contract).
+// The engines track pending events through the router due-queues instead;
+// this accessor exists for diagnostics and the planned event-driven link
+// slots (ROADMAP).
+func (l *Link) EarliestPacket() int64 {
+	head := l.pktHead.Load()
+	if head == l.pktTail.Load() {
+		return -1
+	}
+	return l.pktT[head&l.mask]
+}
+
 // PushCredit schedules a credit of phits for vc to arrive upstream at cycle
-// at. It panics on slot collision.
+// at. Like PushPacket, arrival cycles must be strictly increasing per
+// link. It panics on slot collision or time-order violation.
 func (l *Link) PushCredit(at int64, vc, phits int) {
-	idx := at % l.size
+	idx := at & l.mask
 	if l.credits[idx].phits != 0 {
 		panic(fmt.Sprintf("router: credit slot collision at cycle %d", at))
 	}
+	tail := l.crdTail.Load() // sender-owned
+	if tail != l.crdHead.Load() && l.crdT[(tail-1)&l.mask] >= at {
+		panic(fmt.Sprintf("router: out-of-order credit push at cycle %d", at))
+	}
 	l.credits[idx] = creditEvent{phits: int32(phits), vc: int32(vc)}
+	l.crdT[tail&l.mask] = at
+	l.crdTail.Store(tail + 1)
 }
 
-// PopCredit returns the credit arriving at cycle at, or (0,0).
+// PopCredit returns the credit arriving at cycle at, or (0,0). Like
+// PopPacket, an idle link answers from the header alone.
 func (l *Link) PopCredit(at int64) (vc, phits int) {
-	idx := at % l.size
+	head := l.crdHead.Load() // receiver-owned
+	if head == l.crdTail.Load() {
+		return 0, 0
+	}
+	idx := at & l.mask
 	ev := l.credits[idx]
+	if ev.phits == 0 {
+		return 0, 0
+	}
 	l.credits[idx] = creditEvent{}
+	l.crdHead.Store(head + 1) // ordered arrivals: the popped event is the head
 	return int(ev.vc), int(ev.phits)
+}
+
+// EarliestCredit returns the arrival cycle of the earliest credit in
+// flight, or -1. Only valid between cycles (see the scheduler contract).
+// Like EarliestPacket, kept for diagnostics and future event-driven slots.
+func (l *Link) EarliestCredit() int64 {
+	head := l.crdHead.Load()
+	if head == l.crdTail.Load() {
+		return -1
+	}
+	return l.crdT[head&l.mask]
 }
 
 // InFlight counts packets currently travelling on the link. Intended for

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -91,6 +92,41 @@ func TestLinkInFlight(t *testing.T) {
 	}
 }
 
+func TestLinkOutOfOrderPushPanics(t *testing.T) {
+	l := NewLink(10, 8)
+	l.PushPacket(15, &packet.Packet{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order packet push did not panic")
+		}
+	}()
+	l.PushPacket(12, &packet.Packet{})
+}
+
+func TestLinkEarliestPending(t *testing.T) {
+	l := NewLink(10, 8)
+	if l.EarliestPacket() != -1 || l.EarliestCredit() != -1 {
+		t.Fatal("idle link reports pending events")
+	}
+	l.PushPacket(12, &packet.Packet{})
+	l.PushPacket(20, &packet.Packet{})
+	l.PushCredit(15, 1, 8)
+	if got := l.EarliestPacket(); got != 12 {
+		t.Fatalf("EarliestPacket() = %d, want 12", got)
+	}
+	if got := l.EarliestCredit(); got != 15 {
+		t.Fatalf("EarliestCredit() = %d, want 15", got)
+	}
+	l.PopPacket(12)
+	if got := l.EarliestPacket(); got != 20 {
+		t.Fatalf("EarliestPacket() after pop = %d, want 20", got)
+	}
+	l.PopCredit(15)
+	if got := l.EarliestCredit(); got != -1 {
+		t.Fatalf("EarliestCredit() after pop = %d, want -1", got)
+	}
+}
+
 func TestNewLinkRejectsBadLatency(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -101,7 +137,8 @@ func TestNewLinkRejectsBadLatency(t *testing.T) {
 }
 
 // Property: any schedule of (time, payload) pushes with unique in-window
-// times is delivered exactly at its time.
+// times — pushed in increasing time order, as a serializing sender
+// produces them — is delivered exactly at its time.
 func TestLinkScheduleProperty(t *testing.T) {
 	f := func(offsets []uint8) bool {
 		l := NewLink(100, 8)
@@ -117,8 +154,11 @@ func TestLinkScheduleProperty(t *testing.T) {
 				continue
 			}
 			seen[at] = true
-			l.PushPacket(at, &packet.Packet{ID: uint64(i)})
 			evs = append(evs, ev{at, uint64(i)})
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		for _, e := range evs {
+			l.PushPacket(e.at, &packet.Packet{ID: e.id})
 		}
 		got := map[int64]uint64{}
 		for at := int64(0); at <= 101; at++ {

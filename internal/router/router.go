@@ -72,15 +72,30 @@ type pendingTransfer struct {
 }
 
 type inputPort struct {
+	// Hot fields first: the allocator's gather loop reads busyUntil, rrVC,
+	// qTotal and the vcs header every cycle the router is stepped.
+	busyUntil int64
+	rrVC      int
+	qTotal    int // packets across all VC queues; 0 lets stages skip the port
 	class     topology.PortClass
 	vcs       []vcQueue
-	busyUntil int64
-	pending   pendingTransfer
 	link      *Link // nil for injection ports
-	rrVC      int
+	pending   pendingTransfer
 }
 
 type outputPort struct {
+	// Hot scalars first: every stepped cycle reads linkBusyUntil and the
+	// release fields (link stage, credit stage) and the allocator probes
+	// crossbarBusyUntil; keeping them on the leading cache line matters.
+	linkBusyUntil     int64
+	crossbarBusyUntil int64
+	releaseAt         int64
+	releasePhits      int
+	releaseVC         int
+	occ               int
+	capVC             int // buffer capacity per VC
+	qTotal            int // packets across all VC queues; 0 skips the port
+
 	class topology.PortClass
 
 	// Per-VC output queues: a packet waiting for credits on one VC must
@@ -91,14 +106,6 @@ type outputPort struct {
 	queues [][]*packet.Packet
 	qheads []int
 	occVC  []int
-	occ    int
-	capVC  int // buffer capacity per VC
-
-	crossbarBusyUntil int64
-	linkBusyUntil     int64
-	releaseAt         int64
-	releasePhits      int
-	releaseVC         int
 
 	credits     []int // free phits per downstream VC; nil for ejection
 	creditsFree int   // sum of credits
@@ -136,7 +143,62 @@ func (o *outputPort) queuePop(vc int) *packet.Packet {
 		o.queues[vc] = o.queues[vc][:0]
 		o.qheads[vc] = 0
 	}
+	o.qTotal--
 	return p
+}
+
+// LinkEvent describes one future link arrival created during a Step: a
+// packet reaching an input port of the destination router, or a credit
+// returning to an output port of the upstream router. The engine routes
+// each event into the destination router's due-queue (PushDue) and uses it
+// to wake sleeping routers at the right cycle.
+type LinkEvent struct {
+	Router int   // destination router id
+	Port   int   // destination router's port the event lands on
+	At     int64 // arrival cycle
+	Credit bool  // credit return rather than packet arrival
+}
+
+// portDue is one entry of a due-queue: an event falling due at a port.
+type portDue struct {
+	at   int64
+	port int32
+}
+
+// dueQueue is a time-sorted FIFO of pending port events with head
+// compaction (pushes carry non-decreasing or engine-sorted times).
+type dueQueue struct {
+	q    []portDue
+	head int
+}
+
+func (d *dueQueue) empty() bool { return d.head >= len(d.q) }
+
+// insert places an event keeping the queue sorted by time; events are
+// near-future, so bubbling from the tail is effectively O(1).
+func (d *dueQueue) insert(at int64, port int32) {
+	d.q = append(d.q, portDue{at: at, port: port})
+	for i := len(d.q) - 1; i > d.head && d.q[i-1].at > at; i-- {
+		d.q[i], d.q[i-1] = d.q[i-1], d.q[i]
+	}
+}
+
+// pop removes and returns the head entry. The consumed prefix is
+// compacted away once it dominates the slice, so a queue that never
+// fully drains (steady traffic always has a future entry pending) still
+// stays O(pending) instead of growing with simulated cycles.
+func (d *dueQueue) pop() portDue {
+	e := d.q[d.head]
+	d.head++
+	if d.head == len(d.q) {
+		d.q = d.q[:0]
+		d.head = 0
+	} else if d.head > 64 && d.head*2 > len(d.q) {
+		n := copy(d.q, d.q[d.head:])
+		d.q = d.q[:n]
+		d.head = 0
+	}
+	return e
 }
 
 // candidate is one (input, VC) switch request.
@@ -169,6 +231,29 @@ type Router struct {
 	batch     int // current batch-means span of the measurement window
 	stats     stats.Router
 
+	// Activity signaling for the engine's active-router scheduler. peerIn
+	// and peerOut hold the router id (and peerInPort/peerOutPort the far
+	// port index) on the far side of each port's link (-1 when unknown or
+	// unconnected); notify, when set, is told about every future link
+	// event this router creates, so the engine can route it to the
+	// destination router's due-queues and wake it exactly on time.
+	peerIn      []int
+	peerInPort  []int
+	peerOut     []int
+	peerOutPort []int
+	notify      func(LinkEvent)
+	nev         int64 // earliest future internal event found by the running Step
+
+	// Due-queues of routed link events (filled by the engine through
+	// PushDue; drained by the pop stages, which then touch only ports
+	// with work instead of scanning every link every cycle), plus the
+	// router-local calendars of output buffer releases and crossbar
+	// transfer completions.
+	arrDue  dueQueue
+	crdDue  dueQueue
+	relDue  dueQueue
+	xferDue dueQueue
+
 	recycle func(*packet.Packet)
 	// deliverHook, when set, observes every delivered packet before it
 	// is recycled. Used by tests and the engine's sampling machinery.
@@ -176,10 +261,16 @@ type Router struct {
 	// trace, when set, observes grants, link sends and deliveries.
 	trace TraceFn
 
-	// scratch buffers reused across cycles
-	cands   [][]candidate // per input port
-	outCand [][]candRef   // per output port: submitted requests
-	granted []bool        // per input port, this cycle
+	// scratch buffers reused across cycles. cands[p] and granted[p] are
+	// only meaningful for p ∈ candIn (the inputs that proposed candidates
+	// in the current cycle); outCand[p] is cleared after every allocator
+	// iteration via outTouched. Keeping these sparse avoids resetting
+	// every port every cycle.
+	cands      [][]candidate // per input port
+	outCand    [][]candRef   // per output port: submitted requests
+	granted    []bool        // per input port, this cycle
+	candIn     []int         // inputs with candidates this cycle
+	outTouched []int         // outputs with submissions this iteration
 }
 
 // New constructs a router. Links must be attached with ConnectIn/ConnectOut
@@ -197,6 +288,19 @@ func New(id int, topo *topology.Topology, cfg *Config, mech routing.Mechanism, e
 		cands:   make([][]candidate, n),
 		outCand: make([][]candRef, n),
 		granted: make([]bool, n),
+		peerIn:  make([]int, n),
+		peerOut: make([]int, n),
+
+		peerInPort:  make([]int, n),
+		peerOutPort: make([]int, n),
+		candIn:      make([]int, 0, n),
+		outTouched:  make([]int, 0, n),
+	}
+	for p := 0; p < n; p++ {
+		r.peerIn[p] = -1
+		r.peerOut[p] = -1
+		r.peerInPort[p] = -1
+		r.peerOutPort[p] = -1
 	}
 	if r.recycle == nil {
 		r.recycle = func(*packet.Packet) {}
@@ -282,10 +386,50 @@ func (r *Router) SetBatch(i int) {
 func (r *Router) SetDeliverHook(h func(*packet.Packet)) { r.deliverHook = h }
 
 // ConnectOut attaches the outgoing link of an output port.
-func (r *Router) ConnectOut(port int, l *Link) { r.outputs[port].link = l }
+func (r *Router) ConnectOut(port int, l *Link) { r.ConnectOutTo(port, l, -1, -1) }
 
 // ConnectIn attaches the incoming link of an input port.
-func (r *Router) ConnectIn(port int, l *Link) { r.inputs[port].link = l }
+func (r *Router) ConnectIn(port int, l *Link) { r.ConnectInFrom(port, l, -1, -1) }
+
+// ConnectOutTo attaches the outgoing link of an output port and records
+// which router — and which of its input ports — sits on the far side,
+// enabling arrival events (pass -1,-1 when no scheduler is used).
+func (r *Router) ConnectOutTo(port int, l *Link, peer, peerPort int) {
+	r.outputs[port].link = l
+	r.peerOut[port] = peer
+	r.peerOutPort[port] = peerPort
+}
+
+// ConnectInFrom attaches the incoming link of an input port and records
+// which router — and which of its output ports — sits on the far side,
+// enabling credit events (pass -1,-1 when no scheduler is used).
+func (r *Router) ConnectInFrom(port int, l *Link, peer, peerPort int) {
+	r.inputs[port].link = l
+	r.peerIn[port] = peer
+	r.peerInPort[port] = peerPort
+}
+
+// SetEventSink installs the engine callback that receives a LinkEvent for
+// every future link arrival this router schedules: packets sent to a
+// neighbour and credits returned upstream. The sink is invoked during
+// Step, always with a strictly future cycle, and only for ports wired
+// with ConnectOutTo/ConnectInFrom. While a sink is set, the pop stages
+// run event-driven from the due-queues (see PushDue) instead of scanning
+// every link. Pass nil to disable (manual steppers and the dense
+// reference engines scan every port every cycle and need no events).
+func (r *Router) SetEventSink(fn func(LinkEvent)) { r.notify = fn }
+
+// PushDue routes a link event to this router's due-queues. The engine
+// must call it — between this router's steps — for every LinkEvent whose
+// Router field names this router, or event-driven pop stages will miss
+// the arrival (the links panic loudly on the resulting slot reuse).
+func (r *Router) PushDue(ev LinkEvent) {
+	if ev.Credit {
+		r.crdDue.insert(ev.At, int32(ev.Port))
+	} else {
+		r.arrDue.insert(ev.At, int32(ev.Port))
+	}
+}
 
 // RouterID implements routing.RouterView.
 func (r *Router) RouterID() int { return r.id }
@@ -331,6 +475,7 @@ func (r *Router) EnqueueInjection(now int64, p *packet.Packet) {
 	p.EnqueuedAt = now
 	port := r.topo.NodePort(p.Src)
 	r.inputs[port].vcs[0].push(p)
+	r.inputs[port].qTotal++
 	if r.measuring {
 		r.stats.Generated++
 	}
@@ -362,33 +507,118 @@ func (r *Router) InFlight() int {
 	return n
 }
 
-// Step advances the router by one cycle. The engine guarantees monotonic
-// now values and exactly one call per cycle.
-func (r *Router) Step(now int64) {
+// consider folds a future internal event cycle into the current Step's
+// next-event horizon.
+func (r *Router) consider(t int64) {
+	if r.nev < 0 || t < r.nev {
+		r.nev = t
+	}
+}
+
+// EarliestExternal returns the earliest cycle at which an event already
+// routed to this router falls due — a packet arriving on an input link or
+// a credit returning on an output link — or -1 if none is pending. The
+// scheduler consults it when putting the router to sleep, because
+// in-flight events are invisible to the router's own state (Step's return
+// value covers internal events only). Events created after the router's
+// sleep decision are the engine's responsibility (its wake-notification
+// pass runs after all sleep decisions of a cycle).
+func (r *Router) EarliestExternal() int64 {
+	ev := int64(-1)
+	if !r.arrDue.empty() {
+		ev = r.arrDue.q[r.arrDue.head].at
+	}
+	if !r.crdDue.empty() {
+		if t := r.crdDue.q[r.crdDue.head].at; ev < 0 || t < ev {
+			ev = t
+		}
+	}
+	return ev
+}
+
+// Step advances the router by one cycle and returns the earliest future
+// cycle at which it has internal work to do again, or -1 if it is
+// quiescent: stepping it before that cycle would be a no-op (no buffer
+// movement, no allocation attempt, no RNG consumption), so the engine may
+// skip it until then — provided it is also woken for external events
+// (link arrivals, see EarliestExternal and SetEventSink; and injection,
+// which the engine's generation calendar knows in advance).
+//
+// The returned horizon is assembled by the stages from exactly the
+// conditions they act on:
+//   - a crossbar transfer completing, freeing its input (busyUntil);
+//   - an input VC head becoming allocatable once its pipeline delay
+//     elapses (ReadyAt) — and an already-allocatable head is retried
+//     every cycle, because the allocator re-requests (and the routing
+//     mechanism re-decides, consuming RNG) until it is granted;
+//   - an output buffer release falling due (releaseAt), which also
+//     coincides with the link serializer freeing (linkBusyUntil), after
+//     which the next queued packet can be sent.
+//
+// The engine guarantees strictly increasing now values and at most one
+// call per cycle.
+func (r *Router) Step(now int64) int64 {
+	r.nev = -1
 	r.popCreditsAndReleases(now)
 	r.popArrivals(now)
 	r.completeTransfers(now)
 	r.allocate(now)
+	// Candidates left ungranted by the allocator (arbitration losses,
+	// busy or full outputs) are re-requested next cycle; granted inputs
+	// are accounted for inside grant() via busyUntil.
+	for _, p := range r.candIn {
+		if len(r.cands[p]) > 0 {
+			r.consider(now + 1)
+			break
+		}
+	}
 	r.linkStage(now)
+	return r.nev
 }
 
 func (r *Router) popCreditsAndReleases(now int64) {
-	for p := range r.outputs {
-		o := &r.outputs[p]
-		if o.releaseAt == now && o.releasePhits > 0 {
+	// Buffer releases: the router-local calendar knows exactly when each
+	// output frees the space of a sent packet, so only due outputs are
+	// touched. (Late entries can only exist for manual steppers that skip
+	// cycles; the dense engines visit every cycle and the scheduler wakes
+	// the router at releaseAt.)
+	for !r.relDue.empty() && r.relDue.q[r.relDue.head].at <= now {
+		e := r.relDue.pop()
+		o := &r.outputs[e.port]
+		if o.releasePhits > 0 {
 			o.occ -= o.releasePhits
 			o.occVC[o.releaseVC] -= o.releasePhits
 			o.releasePhits = 0
 		}
-		if o.link == nil {
-			continue
-		}
-		if vc, phits := o.link.PopCredit(now); phits > 0 {
-			o.credits[vc] += phits
-			o.creditsFree += phits
-			if o.credits[vc] > r.downCapOf(o, vc) {
-				panic(fmt.Sprintf("router %d: credit overflow on port %d vc %d", r.id, p, vc))
+	}
+	if r.notify != nil {
+		// Event-driven: only outputs with a credit arriving this cycle.
+		for !r.crdDue.empty() {
+			at := r.crdDue.q[r.crdDue.head].at
+			if at > now {
+				break
 			}
+			if at < now {
+				panic(fmt.Sprintf("router %d: credit event missed at cycle %d (now %d): scheduler failed to wake", r.id, at, now))
+			}
+			r.popCredit(now, int(r.crdDue.pop().port))
+		}
+		return
+	}
+	for p := range r.outputs {
+		if r.outputs[p].link != nil {
+			r.popCredit(now, p)
+		}
+	}
+}
+
+func (r *Router) popCredit(now int64, p int) {
+	o := &r.outputs[p]
+	if vc, phits := o.link.PopCredit(now); phits > 0 {
+		o.credits[vc] += phits
+		o.creditsFree += phits
+		if o.credits[vc] > r.downCapOf(o, vc) {
+			panic(fmt.Sprintf("router %d: credit overflow on port %d vc %d", r.id, p, vc))
 		}
 	}
 }
@@ -405,39 +635,66 @@ func (r *Router) downCapOf(o *outputPort, vc int) int {
 }
 
 func (r *Router) popArrivals(now int64) {
-	for p := range r.inputs {
-		in := &r.inputs[p]
-		if in.link == nil {
-			continue
+	if r.notify != nil {
+		// Event-driven: only inputs with a packet arriving this cycle.
+		for !r.arrDue.empty() {
+			at := r.arrDue.q[r.arrDue.head].at
+			if at > now {
+				break
+			}
+			if at < now {
+				panic(fmt.Sprintf("router %d: packet event missed at cycle %d (now %d): scheduler failed to wake", r.id, at, now))
+			}
+			r.popArrival(now, int(r.arrDue.pop().port))
 		}
-		pkt := in.link.PopPacket(now)
-		if pkt == nil {
-			continue
-		}
-		routing.OnArrive(r.env, r.id, pkt, in.class == topology.GlobalPort)
-		pkt.ReadyAt = now + int64(r.cfg.PipelineCycles)
-		pkt.EnqueuedAt = now
-		q := &in.vcs[pkt.VC]
-		if q.occ+pkt.Size > q.cap {
-			panic(fmt.Sprintf("router %d: input buffer overflow port %d vc %d (credit protocol violated)", r.id, p, pkt.VC))
-		}
-		q.push(pkt)
+		return
 	}
+	for p := range r.inputs {
+		if r.inputs[p].link != nil {
+			r.popArrival(now, p)
+		}
+	}
+}
+
+func (r *Router) popArrival(now int64, p int) {
+	in := &r.inputs[p]
+	pkt := in.link.PopPacket(now)
+	if pkt == nil {
+		return
+	}
+	routing.OnArrive(r.env, r.id, pkt, in.class == topology.GlobalPort)
+	pkt.ReadyAt = now + int64(r.cfg.PipelineCycles)
+	pkt.EnqueuedAt = now
+	q := &in.vcs[pkt.VC]
+	if q.occ+pkt.Size > q.cap {
+		panic(fmt.Sprintf("router %d: input buffer overflow port %d vc %d (credit protocol violated)", r.id, p, pkt.VC))
+	}
+	q.push(pkt)
+	in.qTotal++
 }
 
 func (r *Router) completeTransfers(now int64) {
 	size := r.cfg.PacketSize
-	for p := range r.inputs {
+	// The completion calendar (fed by grant) names the exact inputs due,
+	// so idle inputs are never touched. Entries only run late for manual
+	// steppers that skip cycles; the engines always step at completion.
+	for !r.xferDue.empty() && r.xferDue.q[r.xferDue.head].at <= now {
+		p := int(r.xferDue.pop().port)
 		in := &r.inputs[p]
-		if !in.pending.active || in.pending.done != now {
+		if !in.pending.active {
 			continue
 		}
 		tr := in.pending
 		in.pending.active = false
 		pkt := in.vcs[tr.vcIdx].pop()
+		in.qTotal--
 		// Return the credit for the buffer space just freed.
 		if in.link != nil {
-			in.link.PushCredit(now+int64(in.link.Latency()), tr.vcIdx, size)
+			at := now + int64(in.link.Latency())
+			in.link.PushCredit(at, tr.vcIdx, size)
+			if r.notify != nil && r.peerIn[p] >= 0 {
+				r.notify(LinkEvent{Router: r.peerIn[p], Port: r.peerInPort[p], At: at, Credit: true})
+			}
 		}
 		if in.class == topology.InjectionPort {
 			pkt.InjectTime = now
@@ -457,34 +714,49 @@ func (r *Router) completeTransfers(now int64) {
 		}
 		pkt.EnqueuedAt = now
 		out.queues[pkt.VC] = append(out.queues[pkt.VC], pkt)
+		out.qTotal++
 	}
 }
 
 func (r *Router) allocate(now int64) {
 	size := r.cfg.PacketSize
 	// Gather per-input candidate requests: one NextHop per ready VC head,
-	// in round-robin VC order.
-	anyCand := false
+	// in round-robin VC order. Only inputs that propose something have
+	// their scratch state touched (candIn tracks them).
+	r.candIn = r.candIn[:0]
 	for p := range r.inputs {
 		in := &r.inputs[p]
-		r.cands[p] = r.cands[p][:0]
-		r.granted[p] = false
 		if in.busyUntil > now {
+			// The input frees when its crossbar transfer completes.
+			r.consider(in.busyUntil)
 			continue
 		}
+		if in.qTotal == 0 {
+			continue // no packets buffered: nothing to propose
+		}
 		nvc := len(in.vcs)
+		fresh := false
 		for i := 0; i < nvc; i++ {
 			vc := (in.rrVC + i) % nvc
 			pkt := in.vcs[vc].front()
-			if pkt == nil || pkt.ReadyAt > now {
+			if pkt == nil {
 				continue
+			}
+			if pkt.ReadyAt > now {
+				r.consider(pkt.ReadyAt)
+				continue
+			}
+			if !fresh {
+				fresh = true
+				r.cands[p] = r.cands[p][:0] // drop stale prior-cycle entries
+				r.granted[p] = false
+				r.candIn = append(r.candIn, p)
 			}
 			req := r.mech.NextHop(r.env, r, pkt, in.class, r.rnd)
 			r.cands[p] = append(r.cands[p], candidate{vcIdx: vc, req: req})
-			anyCand = true
 		}
 	}
-	if !anyCand {
+	if len(r.candIn) == 0 {
 		return
 	}
 
@@ -497,16 +769,13 @@ func (r *Router) allocate(now int64) {
 		// request could be submitted at all — the Blue Gene style
 		// priority whose fairness cost Section V quantifies.
 		submitted := false
-		for p := range r.outputs {
-			r.outCand[p] = r.outCand[p][:0]
-		}
 		for pass := 0; pass < 2; pass++ {
 			if pass == 1 {
 				if !transitFirst || submitted || transitSubmitted {
 					break
 				}
 			}
-			for p := range r.inputs {
+			for _, p := range r.candIn {
 				in := &r.inputs[p]
 				if transitFirst {
 					isInj := in.class == topology.InjectionPort
@@ -525,6 +794,9 @@ func (r *Router) allocate(now int64) {
 					if o.crossbarBusyUntil > now || o.occVC[c.req.VC]+size > o.capVC {
 						continue
 					}
+					if len(r.outCand[c.req.Port]) == 0 {
+						r.outTouched = append(r.outTouched, c.req.Port)
+					}
 					r.outCand[c.req.Port] = append(r.outCand[c.req.Port], candRef{in: p, candIdx: ci})
 					submitted = true
 					if pass == 0 && transitFirst {
@@ -537,16 +809,17 @@ func (r *Router) allocate(now int64) {
 		if !submitted {
 			return
 		}
-		// Grant: each output arbitrates among its requesters.
-		for p := range r.outputs {
-			reqs := r.outCand[p]
-			if len(reqs) == 0 {
-				continue
+		// Grant: each output arbitrates among its requesters. Grants are
+		// disjoint (an input proposes to exactly one output), so the
+		// submission order used here matches the seed's port order.
+		for _, p := range r.outTouched {
+			if reqs := r.outCand[p]; len(reqs) > 0 {
+				winner := r.arbitrate(&r.outputs[p], reqs)
+				r.grant(now, winner)
 			}
-			o := &r.outputs[p]
-			winner := r.arbitrate(o, reqs)
-			r.grant(now, winner)
+			r.outCand[p] = r.outCand[p][:0]
 		}
+		r.outTouched = r.outTouched[:0]
 	}
 }
 
@@ -629,6 +902,8 @@ func (r *Router) grant(now int64, ref candRef) {
 	}
 
 	in.busyUntil = now + xbar
+	r.consider(in.busyUntil) // transfer completes, freeing the input
+	r.xferDue.insert(in.busyUntil, int32(inPort))
 	in.pending = pendingTransfer{
 		active:  true,
 		done:    now + xbar,
@@ -656,7 +931,14 @@ func (r *Router) linkStage(now int64) {
 	for p := range r.outputs {
 		o := &r.outputs[p]
 		if o.linkBusyUntil > now {
+			// A transmitting output always has a pending buffer release
+			// at the cycle its serializer frees (releaseAt equals
+			// linkBusyUntil); that step also retries any queued heads.
+			r.consider(o.releaseAt)
 			continue
+		}
+		if o.qTotal == 0 {
+			continue // nothing queued for this output
 		}
 		// Link VC arbitration: round-robin over VCs whose head packet
 		// has a full packet of downstream credit.
@@ -695,11 +977,17 @@ func (r *Router) linkStage(now int64) {
 		o.releaseAt = now + serial
 		o.releasePhits += size
 		o.releaseVC = sendVC
+		r.relDue.insert(o.releaseAt, int32(p))
+		r.consider(o.releaseAt) // buffer release; also frees the serializer
 		if r.trace != nil {
 			r.trace(now, TraceLinkSend, pkt, r.id, p, pkt.VC)
 		}
 		if o.link != nil {
-			o.link.PushPacket(now+serial+int64(o.link.Latency()), pkt)
+			at := now + serial + int64(o.link.Latency())
+			o.link.PushPacket(at, pkt)
+			if r.notify != nil && r.peerOut[p] >= 0 {
+				r.notify(LinkEvent{Router: r.peerOut[p], Port: r.peerOutPort[p], At: at})
+			}
 		} else {
 			r.deliver(now+serial, pkt)
 		}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"dragonfly/internal/router"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/topology"
 	"dragonfly/internal/traffic"
@@ -42,11 +43,8 @@ func RunWithAppPattern(cfg Config, first, groups int) (*Result, error) {
 	return RunWithPattern(cfg, traffic.NewAppUniform(topo, first, groups))
 }
 
-// RunNetwork drives an already-built network through the configured warm-up
-// and measurement phases. Exposed for tools that inspect network state
-// after the run.
-func RunNetwork(net *Network, cfg *Config) error {
-	total := cfg.WarmupCycles + cfg.MeasureCycles
+// clampWorkers resolves cfg.Workers against the network and machine size.
+func clampWorkers(net *Network, cfg *Config) int {
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = 1
@@ -57,10 +55,31 @@ func RunNetwork(net *Network, cfg *Config) error {
 	if workers > runtime.NumCPU() {
 		workers = runtime.NumCPU()
 	}
-	if workers <= 1 {
-		return runSequential(net, cfg.WarmupCycles, total)
+	return workers
+}
+
+// RunNetwork drives an already-built network through the configured warm-up
+// and measurement phases using the active-router scheduler: quiescent
+// routers are skipped and woken by the calendar (see schedule.go). Exposed
+// for tools that inspect network state after the run.
+func RunNetwork(net *Network, cfg *Config) error {
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	if workers := clampWorkers(net, cfg); workers > 1 {
+		return runParallel(net, cfg.WarmupCycles, total, workers)
 	}
-	return runParallel(net, cfg.WarmupCycles, total, workers)
+	return runSequential(net, cfg.WarmupCycles, total)
+}
+
+// RunNetworkReference drives the network with the dense reference engines
+// that step every router every cycle. It is the baseline the scheduler is
+// proven bit-identical against (see the cross-engine equivalence tests)
+// and the "before" side of the cmd/dfbench regression harness.
+func RunNetworkReference(net *Network, cfg *Config) error {
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	if workers := clampWorkers(net, cfg); workers > 1 {
+		return runParallelRef(net, cfg.WarmupCycles, total, workers)
+	}
+	return runSequentialRef(net, cfg.WarmupCycles, total)
 }
 
 // batchIndex maps a measurement cycle to its batch-means span.
@@ -71,33 +90,69 @@ func batchIndex(now, warmup, measure int64) int {
 	return int((now - warmup) * stats.Batches / measure)
 }
 
+// setPhase applies the warm-up→measurement transition and batch-means
+// bookkeeping for cycle now. It touches every router (sleeping ones
+// included — the flags must be current whenever a router next steps), but
+// only on the handful of boundary cycles.
+func setPhase(net *Network, now, warmup, measure int64, batch *int) {
+	if now == warmup {
+		for _, r := range net.Routers {
+			r.SetMeasuring(true)
+		}
+	}
+	if now >= warmup {
+		if b := batchIndex(now, warmup, measure); b != *batch {
+			*batch = b
+			for _, r := range net.Routers {
+				r.SetBatch(b)
+			}
+		}
+	}
+}
+
 func runSequential(net *Network, warmup, total int64) error {
+	sched := newScheduler(len(net.Routers))
+	var wbuf []router.LinkEvent
+	sink := func(ev router.LinkEvent) {
+		// Route the event to the destination router immediately (its pop
+		// stages read the due-queue no earlier than the arrival cycle)
+		// and remember it for the post-settle wake pass.
+		net.Routers[ev.Router].PushDue(ev)
+		wbuf = append(wbuf, ev)
+	}
+	for _, r := range net.Routers {
+		r.SetEventSink(sink)
+	}
+	defer func() {
+		for _, r := range net.Routers {
+			r.SetEventSink(nil)
+		}
+	}()
+	net.engineSteps = 0
 	measure := total - warmup
 	var lastSeen int64 // most recent activity observed by the watchdog
 	batch := -1
 	for now := int64(0); now < total; now++ {
-		if now == warmup {
-			for _, r := range net.Routers {
-				r.SetMeasuring(true)
-			}
-		}
-		if now >= warmup {
-			if b := batchIndex(now, warmup, measure); b != batch {
-				batch = b
-				for _, r := range net.Routers {
-					r.SetBatch(b)
-				}
-			}
-		}
+		setPhase(net, now, warmup, measure, &batch)
 		if net.pb != nil {
 			for g := 0; g < net.Topo.NumGroups(); g++ {
 				net.pb.updateGroup(g)
 			}
 		}
-		for r := range net.Routers {
+		sched.wakeDue(now)
+		sched.rebuild()
+		for _, r := range sched.list {
 			net.generate(r, now)
-			net.Routers[r].Step(now)
+			nev := net.Routers[r].Step(now)
+			sched.settle(net, r, now, nev)
 		}
+		sched.steps += int64(len(sched.list))
+		// Events created this cycle towards already-sleeping routers
+		// advance their wake-ups (settle saw everything earlier).
+		for _, e := range wbuf {
+			sched.notify(e.Router, e.At)
+		}
+		wbuf = wbuf[:0]
 		if now%watchdogInterval == watchdogInterval-1 {
 			var err error
 			lastSeen, err = watchdog(net, now, lastSeen)
@@ -106,11 +161,14 @@ func runSequential(net *Network, warmup, total int64) error {
 			}
 		}
 	}
+	net.engineSteps = sched.steps
 	return nil
 }
 
 // watchdog detects a fully stalled network: packets in flight but no router
-// granted or delivered anything for several intervals.
+// granted or delivered anything for several intervals. It inspects every
+// router directly, so detection is independent of the scheduler — a
+// network that deadlocks and goes fully quiescent is still caught.
 func watchdog(net *Network, now, lastSeen int64) (int64, error) {
 	latest := int64(-1)
 	for _, r := range net.Routers {
@@ -128,13 +186,15 @@ func watchdog(net *Network, now, lastSeen int64) (int64, error) {
 }
 
 // runParallel steps disjoint router shards on persistent workers with a
-// barrier per phase. Cross-router state only flows through time-indexed
-// link slots written at least one cycle ahead, so the result is identical
-// to the sequential engine.
+// barrier per phase, each worker visiting only the active routers of its
+// shard. Cross-router state only flows through time-indexed link slots
+// written at least one cycle ahead, and all scheduler mutation (wake
+// draining, sleeps, calendar pops) happens on the coordinator between
+// barriers, so the result is identical to the sequential engine.
 func runParallel(net *Network, warmup, total int64, workers int) error {
+	n := len(net.Routers)
 	type span struct{ lo, hi int }
 	shards := make([]span, workers)
-	n := len(net.Routers)
 	for w := 0; w < workers; w++ {
 		shards[w] = span{lo: w * n / workers, hi: (w + 1) * n / workers}
 	}
@@ -143,6 +203,33 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 	for w := 0; w < workers; w++ {
 		gShards[w] = span{lo: w * groups / workers, hi: (w + 1) * groups / workers}
 	}
+
+	sched := newScheduler(n)
+	lists := make([][]int, workers) // per-shard active routers this cycle
+	for w := range lists {
+		lists[w] = make([]int, 0, shards[w].hi-shards[w].lo)
+	}
+	// Workers may not touch the shared calendar or another shard's
+	// routers, so each router's event sink appends to its shard's buffer
+	// and the per-router internal event horizon goes into wakeAt; the
+	// coordinator routes and drains both between barriers.
+	wbuf := make([][]router.LinkEvent, workers)
+	wakeAt := make([]int64, n)
+	for w := 0; w < workers; w++ {
+		buf := &wbuf[w]
+		sink := func(ev router.LinkEvent) {
+			*buf = append(*buf, ev)
+		}
+		for r := shards[w].lo; r < shards[w].hi; r++ {
+			net.Routers[r].SetEventSink(sink)
+		}
+	}
+	defer func() {
+		for _, r := range net.Routers {
+			r.SetEventSink(nil)
+		}
+	}()
+	net.engineSteps = 0
 
 	// Each worker has a dedicated start channel so a fast worker can never
 	// steal another worker's phase signal; done is the converging barrier.
@@ -159,6 +246,142 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 					}
 					done <- struct{}{}
 					// Phase 2 signal from the coordinator.
+					if _, ok := <-starts[w]; !ok {
+						return
+					}
+				}
+				for _, r := range lists[w] {
+					net.generate(r, now)
+					wakeAt[r] = net.Routers[r].Step(now)
+				}
+				done <- struct{}{}
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range starts {
+			close(ch)
+		}
+	}()
+
+	var lastSeen int64
+	measure := total - warmup
+	batch := -1
+	for now := int64(0); now < total; now++ {
+		// Workers are quiescent between cycles, so the coordinator may
+		// touch router and scheduler state here.
+		setPhase(net, now, warmup, measure, &batch)
+		sched.wakeDue(now)
+		next := 0
+		for w := 0; w < workers; w++ {
+			lists[w] = lists[w][:0]
+		}
+		for r, a := range sched.active {
+			if !a {
+				continue
+			}
+			for r >= shards[next].hi {
+				next++
+			}
+			lists[next] = append(lists[next], r)
+		}
+		phases := 1
+		if net.pb != nil {
+			phases = 2
+		}
+		for ph := 0; ph < phases; ph++ {
+			for w := 0; w < workers; w++ {
+				starts[w] <- now
+			}
+			for w := 0; w < workers; w++ {
+				<-done
+			}
+		}
+		// Sleep decisions first, then event routing: a sleep that missed
+		// an event created this same cycle is corrected by notify, and a
+		// router woken before its events' arrival re-settles against the
+		// by-then routed due-queues.
+		for w := 0; w < workers; w++ {
+			for _, r := range lists[w] {
+				sched.settle(net, r, now, wakeAt[r])
+			}
+			sched.steps += int64(len(lists[w]))
+		}
+		for w := 0; w < workers; w++ {
+			for _, e := range wbuf[w] {
+				net.Routers[e.Router].PushDue(e)
+				sched.notify(e.Router, e.At)
+			}
+			wbuf[w] = wbuf[w][:0]
+		}
+		if now%watchdogInterval == watchdogInterval-1 {
+			var err error
+			lastSeen, err = watchdog(net, now, lastSeen)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	net.engineSteps = sched.steps
+	return nil
+}
+
+// runSequentialRef is the dense seed engine: every router is generated for
+// and stepped every cycle. Kept as the executable specification the
+// scheduler engines are verified against.
+func runSequentialRef(net *Network, warmup, total int64) error {
+	measure := total - warmup
+	var lastSeen int64
+	batch := -1
+	for now := int64(0); now < total; now++ {
+		setPhase(net, now, warmup, measure, &batch)
+		if net.pb != nil {
+			for g := 0; g < net.Topo.NumGroups(); g++ {
+				net.pb.updateGroup(g)
+			}
+		}
+		for r := range net.Routers {
+			net.generate(r, now)
+			net.Routers[r].Step(now)
+		}
+		if now%watchdogInterval == watchdogInterval-1 {
+			var err error
+			lastSeen, err = watchdog(net, now, lastSeen)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	net.engineSteps = int64(len(net.Routers)) * total
+	return nil
+}
+
+// runParallelRef is the dense seed parallel engine (full shards, barrier
+// per phase), kept as the reference for the parallel scheduler path.
+func runParallelRef(net *Network, warmup, total int64, workers int) error {
+	type span struct{ lo, hi int }
+	shards := make([]span, workers)
+	n := len(net.Routers)
+	for w := 0; w < workers; w++ {
+		shards[w] = span{lo: w * n / workers, hi: (w + 1) * n / workers}
+	}
+	groups := net.Topo.NumGroups()
+	gShards := make([]span, workers)
+	for w := 0; w < workers; w++ {
+		gShards[w] = span{lo: w * groups / workers, hi: (w + 1) * groups / workers}
+	}
+
+	starts := make([]chan int64, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		starts[w] = make(chan int64)
+		go func(w int) {
+			for now := range starts[w] {
+				if net.pb != nil {
+					for g := gShards[w].lo; g < gShards[w].hi; g++ {
+						net.pb.updateGroup(g)
+					}
+					done <- struct{}{}
 					if _, ok := <-starts[w]; !ok {
 						return
 					}
@@ -181,21 +404,7 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 	measure := total - warmup
 	batch := -1
 	for now := int64(0); now < total; now++ {
-		if now == warmup {
-			for _, r := range net.Routers {
-				r.SetMeasuring(true)
-			}
-		}
-		if now >= warmup {
-			// Workers are quiescent between cycles, so the
-			// coordinator may touch router state here.
-			if b := batchIndex(now, warmup, measure); b != batch {
-				batch = b
-				for _, r := range net.Routers {
-					r.SetBatch(b)
-				}
-			}
-		}
+		setPhase(net, now, warmup, measure, &batch)
 		phases := 1
 		if net.pb != nil {
 			phases = 2
@@ -216,5 +425,6 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 			}
 		}
 	}
+	net.engineSteps = int64(len(net.Routers)) * total
 	return nil
 }

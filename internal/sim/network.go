@@ -36,6 +36,17 @@ type Network struct {
 	nodes   []nodeState
 	pool    sync.Pool
 	genProb float64 // packet generation probability per node per cycle
+
+	// genWake caches, per router, the earliest future arrival among its
+	// nodes' generation processes (-1: none). generate keeps it current;
+	// the scheduler reads it in O(1) when deciding how long a router may
+	// sleep. Each entry is only touched by the worker owning the router.
+	genWake []int64
+
+	// engineSteps is the number of router-steps the last RunNetwork[Reference]
+	// executed; the scheduler tests and cmd/dfbench read it to quantify how
+	// many quiescent router-cycles were skipped.
+	engineSteps int64
 }
 
 // NewNetwork builds and wires a network from the configuration. The traffic
@@ -92,7 +103,9 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 		}
 	}
 
-	// Links: one per direction, created from the sender side.
+	// Links: one per direction, created from the sender side. Both ends
+	// record the far-side router id so the engines can wake receivers at
+	// packet- and credit-arrival cycles (schedule.go).
 	horizon := rcfg.SerialCycles()
 	p := topo.Params()
 	for r := 0; r < topo.NumRouters(); r++ {
@@ -100,15 +113,15 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 			link := router.NewLink(rcfg.LocalLatency, horizon)
 			nb := topo.LocalNeighbor(r, l)
 			inPort := topo.LocalPortTo(nb, topo.RouterLocalIndex(r))
-			net.Routers[r].ConnectOut(l, link)
-			net.Routers[nb].ConnectIn(inPort, link)
+			net.Routers[r].ConnectOutTo(l, link, nb, inPort)
+			net.Routers[nb].ConnectInFrom(inPort, link, r, l)
 			net.Links = append(net.Links, link)
 		}
 		for gp := p.A - 1; gp < p.A-1+p.H; gp++ {
 			link := router.NewLink(rcfg.GlobalLatency, horizon)
 			nb, inPort := topo.GlobalNeighbor(r, gp)
-			net.Routers[r].ConnectOut(gp, link)
-			net.Routers[nb].ConnectIn(inPort, link)
+			net.Routers[r].ConnectOutTo(gp, link, nb, inPort)
+			net.Routers[nb].ConnectInFrom(inPort, link, r, gp)
 			net.Links = append(net.Links, link)
 		}
 	}
@@ -131,6 +144,10 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 			ns.nextGen = ns.nextArrival(-1, q)
 		}
 	}
+	net.genWake = make([]int64, topo.NumRouters())
+	for r := range net.genWake {
+		net.refreshGenWake(r)
+	}
 	return net, nil
 }
 
@@ -147,8 +164,28 @@ func (ns *nodeState) nextArrival(t int64, q float64) int64 {
 	return t + gap
 }
 
+// refreshGenWake recomputes the cached earliest arrival of router r.
+func (net *Network) refreshGenWake(r int) {
+	p := net.Topo.Params()
+	base := r * p.P
+	wake := int64(-1)
+	for i := 0; i < p.P; i++ {
+		ns := &net.nodes[base+i]
+		if !ns.active {
+			continue
+		}
+		if wake < 0 || ns.nextGen < wake {
+			wake = ns.nextGen
+		}
+	}
+	net.genWake[r] = wake
+}
+
 // generate creates the packets due at cycle now for the nodes of router r.
 func (net *Network) generate(r int, now int64) {
+	if w := net.genWake[r]; w < 0 || w > now {
+		return // no node of r has an arrival due
+	}
 	p := net.Topo.Params()
 	rtr := net.Routers[r]
 	base := r * p.P
@@ -182,7 +219,13 @@ func (net *Network) generate(r int, now int64) {
 			rtr.EnqueueInjection(now, pkt)
 		}
 	}
+	net.refreshGenWake(r)
 }
+
+// EngineSteps returns the number of router-steps the last
+// RunNetwork/RunNetworkReference call executed — the denominator of the
+// scheduler's skip ratio (cmd/dfbench records it per release).
+func (net *Network) EngineSteps() int64 { return net.engineSteps }
 
 // InFlight counts packets currently inside the network (buffers and links).
 // O(network); intended for conservation checks and the deadlock watchdog.

@@ -29,6 +29,16 @@ func fairCfg(mech string, arb router.Arbitration) Config {
 	return cfg
 }
 
+// skipInShort skips the paper-scale fairness cases under -short: they
+// dominate the suite's runtime (several seconds each) and stay fully
+// covered by the default `go test ./...` run.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-scale case: skipped with -short")
+	}
+}
+
 // MIN saturates at 1/(a*p) under ADV+1 — the paper's Section III bound.
 func TestMINThroughputBoundADV(t *testing.T) {
 	cfg := DefaultConfig()
@@ -125,6 +135,7 @@ func TestUNLatencyOrdering(t *testing.T) {
 // router; oblivious routing stays fair; and no global misrouting policy
 // fixes it.
 func TestADVcUnfairnessWithPriority(t *testing.T) {
+	skipInShort(t)
 	type expect struct {
 		mech    string
 		starved bool
@@ -167,6 +178,7 @@ func TestADVcUnfairnessWithPriority(t *testing.T) {
 // identically across policies (Figure 6 / Table III), and the improvement
 // is large.
 func TestADVcFairnessWithoutPriority(t *testing.T) {
+	skipInShort(t)
 	for _, mech := range []string{"In-Trns-RRG", "In-Trns-CRG", "In-Trns-MM"} {
 		res, err := Run(fairCfg(mech, router.RoundRobin))
 		if err != nil {
@@ -185,6 +197,7 @@ func TestADVcFairnessWithoutPriority(t *testing.T) {
 // Priority hurts fairness: CoV with priority must exceed CoV without, for
 // the mechanisms the paper flags.
 func TestPriorityDegradesFairness(t *testing.T) {
+	skipInShort(t)
 	for _, mech := range []string{"Src-RRG", "In-Trns-CRG", "In-Trns-MM"} {
 		with, err := Run(fairCfg(mech, router.TransitOverInjection))
 		if err != nil {
@@ -204,6 +217,7 @@ func TestPriorityDegradesFairness(t *testing.T) {
 // The paper's future work, our extension: age-based arbitration removes
 // the ADVc unfairness even for the worst mechanism/policy combination.
 func TestAgeArbitrationRestoresFairness(t *testing.T) {
+	skipInShort(t)
 	for _, mech := range []string{"In-Trns-CRG", "In-Trns-MM", "Src-CRG"} {
 		res, err := Run(fairCfg(mech, router.AgeBased))
 		if err != nil {
@@ -220,6 +234,7 @@ func TestAgeArbitrationRestoresFairness(t *testing.T) {
 // Oblivious routing is insensitive to the arbitration policy (Figures 4/6:
 // same bars in both).
 func TestObliviousInsensitiveToPriority(t *testing.T) {
+	skipInShort(t)
 	with, err := Run(fairCfg("Obl-RRG", router.TransitOverInjection))
 	if err != nil {
 		t.Fatal(err)
@@ -264,6 +279,7 @@ func TestBreakdownShape(t *testing.T) {
 // Under UN the transit priority costs only a little throughput (the paper
 // reports ~1.2% for MIN).
 func TestPriorityBenignUnderUN(t *testing.T) {
+	skipInShort(t)
 	run := func(arb router.Arbitration) float64 {
 		cfg := DefaultConfig()
 		cfg.Topology = topology.Balanced(3)

@@ -44,6 +44,13 @@ func newResult(net *Network, cfg *Config, wall time.Duration) *Result {
 	return res
 }
 
+// NewResultFrom builds a Result from an externally driven network run —
+// the entry point for tools (cmd/dfbench) that call RunNetwork or
+// RunNetworkReference directly and time them.
+func NewResultFrom(net *Network, cfg *Config, wall time.Duration) *Result {
+	return newResult(net, cfg, wall)
+}
+
 // total returns the network-wide merged accumulator.
 func (r *Result) total() stats.Router {
 	var t stats.Router
