@@ -10,12 +10,21 @@
 //
 //	dfbench                  # writes BENCH_engine.json in the cwd
 //	dfbench -o out.json -reps 5
+//	dfbench -baseline BENCH_engine.json -max-regress 0.20   # CI regression gate
+//
+// With -baseline, the freshly measured scheduler-vs-reference speedups are
+// compared against the committed baseline and the geometric mean of the
+// sequential speedup ratios is gated (see compareBaseline). Ratios are
+// used rather than absolute times, so the check tolerates slow or noisy
+// CI runners: both engines run on the same machine in the same process,
+// and a genuine scheduler regression shows up as a lower ratio everywhere.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -103,6 +112,8 @@ func identical(a, b *sim.Result) bool {
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file")
 	reps := flag.Int("reps", 3, "repetitions per point (best-of)")
+	baseline := flag.String("baseline", "", "compare speedups against this earlier output file")
+	maxRegress := flag.Float64("max-regress", 0.20, "with -baseline: tolerated per-scenario speedup drop (fraction)")
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
@@ -164,6 +175,66 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, result.Scenarios, *maxRegress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compareBaseline gates on the geometric mean of the per-scenario speedup
+// ratios (fresh speedup / baseline speedup) over the sequential scenarios:
+// it fails when the mean drops more than maxRegress below 1. Single
+// scenarios are reported but not gated — on small shared runners an
+// individual measurement can land in a CPU-throttled window, while a real
+// scheduler regression depresses every scenario and therefore the mean.
+// Parallel (Workers > 1) scenarios are informational only: barrier-heavy
+// multi-worker timings swing far more than maxRegress run-to-run, and
+// their correctness is covered by the bit-identity check regardless.
+// Scenarios missing from the baseline (newly added points) are skipped.
+func compareBaseline(path string, scenarios []scenario, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]scenario, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		byName[s.Name] = s
+	}
+	logRatioSum, gated := 0.0, 0
+	for _, s := range scenarios {
+		b, ok := byName[s.Name]
+		if !ok {
+			fmt.Printf("baseline: %-30s not in %s, skipped\n", s.Name, path)
+			continue
+		}
+		ratio := s.Speedup / b.Speedup
+		note := ""
+		if s.Workers > 1 {
+			note = " (informational: parallel timing is noisy)"
+		} else {
+			logRatioSum += math.Log(ratio)
+			gated++
+		}
+		fmt.Printf("baseline: %-30s speedup %.2fx vs %.2fx (ratio %.2f)%s\n",
+			s.Name, s.Speedup, b.Speedup, ratio, note)
+	}
+	if gated == 0 {
+		// A rename or a foreign baseline must not turn the gate into a
+		// silent no-op.
+		return fmt.Errorf("no sequential scenario of this run matches %s — regenerate the baseline", path)
+	}
+	geomean := math.Exp(logRatioSum / float64(gated))
+	fmt.Printf("baseline: geometric-mean sequential speedup ratio %.2f (floor %.2f)\n", geomean, 1-maxRegress)
+	if geomean < 1-maxRegress {
+		return fmt.Errorf("sequential speedup geomean %.2f regressed >%.0f%% vs %s", geomean, maxRegress*100, path)
+	}
+	return nil
 }
 
 func fatal(err error) {

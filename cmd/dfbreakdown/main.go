@@ -35,6 +35,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := cli.ValidateNames(cfg.Topology, []string{*mech}, []string{*pattern}); err != nil {
+		fatal(err)
+	}
 	loadList, err := cli.ParseLoads(*loads)
 	if err != nil {
 		fatal(err)

@@ -37,6 +37,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := cli.ValidateNames(cfg.Topology, cli.SplitList(*mechs), []string{*pattern}); err != nil {
+		fatal(err)
+	}
 	grid := sweep.Grid{
 		Base:       cfg,
 		Mechanisms: cli.SplitList(*mechs),

@@ -41,6 +41,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := cli.ValidateNames(cfg.Topology, []string{*mech}, []string{*pattern}); err != nil {
+		fatal(err)
+	}
+	if *group < 0 || *group >= cfg.Topology.Groups() {
+		fatal(fmt.Errorf("-group %d out of range [0,%d)", *group, cfg.Topology.Groups()))
+	}
 	cfg.Mechanism = *mech
 	cfg.Pattern = *pattern
 	cfg.Load = *load

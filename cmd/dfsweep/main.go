@@ -39,6 +39,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := cli.ValidateNames(cfg.Topology, cli.SplitList(*mechs), []string{*pattern}); err != nil {
+		fatal(err)
+	}
 	loadList, err := cli.ParseLoads(*loads)
 	if err != nil {
 		fatal(err)

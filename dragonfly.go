@@ -36,7 +36,7 @@ import (
 	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/topology"
-	"dragonfly/internal/traffic"
+	"dragonfly/internal/workload"
 )
 
 // Config describes one simulation run. It is an alias of the internal
@@ -91,11 +91,64 @@ func Mechanisms() []string { return routing.Names() }
 // cycles manually (see examples/quickstart for the ordinary entry point).
 func NewNetwork(cfg *Config) (*sim.Network, error) { return sim.NewNetwork(cfg, nil) }
 
+// WorkloadSpec describes a multi-job workload: jobs with sizes, allocation
+// policies, intra-job patterns and phase schedules. See internal/workload.
+type WorkloadSpec = workload.Spec
+
+// WorkloadJob describes one job of a workload.
+type WorkloadJob = workload.JobSpec
+
+// CompileWorkload places the spec's jobs on cfg's topology and returns the
+// compiled workload (node-level pattern plus node→job map). Compilation is
+// deterministic in cfg.Seed.
+func CompileWorkload(cfg Config, spec WorkloadSpec) (*workload.Workload, error) {
+	return workload.Compile(topology.New(cfg.Topology), spec, cfg.Seed)
+}
+
+// RunCompiledWorkload runs a simulation driven by an already-compiled
+// workload. The result carries per-job throughput, latency and fairness
+// next to the global metrics (Result.JobNames, JobThroughput,
+// JobAvgLatency, JobFairness).
+func RunCompiledWorkload(cfg Config, wl *workload.Workload) (*Result, error) {
+	return sim.RunWithPattern(cfg, wl)
+}
+
+// RunWorkload is CompileWorkload followed by RunCompiledWorkload — the
+// one-call form for callers that do not need the compiled placement.
+func RunWorkload(cfg Config, spec WorkloadSpec) (*Result, error) {
+	wl, err := CompileWorkload(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiledWorkload(cfg, wl)
+}
+
+// JobInterference quantifies inter-job interference: every job of the
+// compiled workload is re-run alone with its exact placement, and the
+// returned slice holds, per job, the ratio of its average latency in the
+// full workload to its solo-run latency (1 = no interference; 0 when a job
+// delivered nothing in either run). full must be the result of running wl
+// under the same cfg.
+func JobInterference(cfg Config, wl *workload.Workload, full *Result) ([]float64, error) {
+	out := make([]float64, wl.NumJobs())
+	for j := range out {
+		solo, err := sim.RunWithPattern(cfg, wl.Solo(j))
+		if err != nil {
+			return nil, err
+		}
+		mixed, alone := full.JobAvgLatency(j), solo.JobAvgLatency(j)
+		if mixed > 0 && alone > 0 {
+			out[j] = mixed / alone
+		}
+	}
+	return out, nil
+}
+
 // RunWithAppTraffic runs a simulation whose traffic is uniform inside an
 // application allocated on `groups` consecutive groups starting at group
 // `first` — the Section III job-scheduler use case that turns uniform
-// application traffic into ADVc network traffic.
+// application traffic into ADVc network traffic. It is the one-job
+// degenerate case of RunWorkload.
 func RunWithAppTraffic(cfg Config, first, groups int) (*Result, error) {
-	topo := topology.New(cfg.Topology)
-	return sim.RunWithPattern(cfg, traffic.NewAppUniform(topo, first, groups))
+	return RunWorkload(cfg, workload.AppSpec(cfg.Topology, first, groups))
 }

@@ -76,6 +76,51 @@ func TestNewNetworkExposed(t *testing.T) {
 	}
 }
 
+func TestRunWorkloadPublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 1000
+	spec := WorkloadSpec{Jobs: []WorkloadJob{
+		{Name: "a", Nodes: 16, Alloc: "consecutive"},
+		{Name: "b", Nodes: 16, Alloc: "spread", FirstGroup: 4},
+	}}
+	wl, err := CompileWorkload(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCompiledWorkload(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumJobs() != 2 {
+		t.Fatalf("NumJobs = %d", res.NumJobs())
+	}
+	for j := 0; j < res.NumJobs(); j++ {
+		if res.JobThroughput(j) <= 0 || res.JobAvgLatency(j) <= 0 {
+			t.Errorf("job %s has empty metrics", res.JobNames[j])
+		}
+	}
+	// The one-call form produces the identical result (same compile seed).
+	again, err := RunWorkload(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Throughput() != res.Throughput() {
+		t.Error("RunWorkload diverges from CompileWorkload+RunCompiledWorkload")
+	}
+	ratios, err := JobInterference(cfg, wl, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, r := range ratios {
+		if r <= 0 {
+			t.Errorf("job %d interference ratio %v", j, r)
+		}
+	}
+}
+
 func TestRunWithAppTraffic(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Mechanism = "In-Trns-MM"

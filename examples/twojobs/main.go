@@ -1,0 +1,67 @@
+// Two-job interference: how the scheduler's placement policy — not the
+// applications' own communication — decides who suffers.
+//
+// Two identical jobs run uniform traffic among their own processes. The
+// "victim" is placed on consecutive groups (the classic compact placement
+// that manufactures ADVc traffic at its member groups); the "aggressor" is
+// placed either compactly too, or spread one router per group across the
+// machine. The per-job metrics show the compact job pays a large latency
+// and intra-job fairness penalty while the spread job sails through, and
+// the interference column (latency in the mix vs. the same placement
+// running alone) separates placement self-harm from true inter-job
+// contention.
+//
+//	go run ./examples/twojobs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragonfly"
+)
+
+func main() {
+	cfg := dragonfly.DefaultConfig()
+	cfg.Topology = dragonfly.Balanced(3)
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Load = 0.4
+	cfg.Router.Arbitration = dragonfly.TransitOverInjection
+	cfg.WarmupCycles = 3000
+	cfg.MeasureCycles = 6000
+	cfg.Workers = 4
+
+	nodes := (cfg.Topology.H + 1) * cfg.Topology.A * cfg.Topology.P
+
+	for _, aggAlloc := range []string{"consecutive", "spread"} {
+		spec := dragonfly.WorkloadSpec{Jobs: []dragonfly.WorkloadJob{
+			{Name: "victim", Nodes: nodes, Alloc: "consecutive", FirstGroup: 0},
+			{Name: "aggressor", Nodes: nodes, Alloc: aggAlloc, FirstGroup: cfg.Topology.H + 1},
+		}}
+		wl, err := dragonfly.CompileWorkload(cfg, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dragonfly.RunCompiledWorkload(cfg, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		interf, err := dragonfly.JobInterference(cfg, wl, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("aggressor placed %s:\n", aggAlloc)
+		for j := 0; j < res.NumJobs(); j++ {
+			fmt.Printf("  %-10s thr/node %.3f  avg lat %6.1f  intra-job CoV %.3f  interference %.2fx\n",
+				res.JobNames[j], res.JobThroughput(j), res.JobAvgLatency(j),
+				res.JobFairness(j).CoV, interf[j])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Same applications, same loads — only the placement differs. The")
+	fmt.Println("compact job's latency and intra-job unfairness are created by its")
+	fmt.Println("own allocation (ADVc at its member groups), which is exactly the")
+	fmt.Println("paper's Section III point about realistic scheduler-driven traffic.")
+}

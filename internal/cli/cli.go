@@ -8,8 +8,10 @@ import (
 	"strings"
 
 	"dragonfly/internal/router"
+	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
 )
 
 // CommonFlags registers the simulation flags shared by every tool on fs and
@@ -70,6 +72,32 @@ func CommonFlags(fs *flag.FlagSet) func() (sim.Config, error) {
 		cfg.Routing.LocalMisroute = *olm
 		return cfg, nil
 	}
+}
+
+// ValidateNames checks mechanism and pattern names against their
+// registries — listing the registered names on a mismatch — so tools
+// reject typos at flag time instead of deep inside the first simulation.
+// Patterns are checked against the topology, catching out-of-range
+// parameters (e.g. an ADV offset beyond the group count) too.
+func ValidateNames(topo topology.Params, mechanisms, patterns []string) error {
+	for _, m := range mechanisms {
+		if _, err := routing.ByName(m); err != nil {
+			return err
+		}
+	}
+	if len(patterns) == 0 {
+		return nil
+	}
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	t := topology.New(topo)
+	for _, p := range patterns {
+		if err := traffic.Validate(t, p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ParseLoads parses a comma-separated list of loads ("0.1,0.2") or a range

@@ -3,6 +3,7 @@ package cli
 import (
 	"flag"
 	"math"
+	"strings"
 	"testing"
 
 	"dragonfly/internal/router"
@@ -121,6 +122,42 @@ func TestCommonFlagsOverrides(t *testing.T) {
 	}
 	if cfg.Routing.CongestionThreshold != 0.5 || cfg.Routing.LocalMisroute {
 		t.Error("threshold/olm flags ignored")
+	}
+}
+
+func TestValidateNames(t *testing.T) {
+	topo := topology.Balanced(2) // 9 groups
+	ok := [][2][]string{
+		{{"MIN", "In-Trns-MM"}, {"UN", "ADV+1", "ADVc"}},
+		{{"src-rrg"}, {"advc2", "PERM"}},
+		{{}, {}},
+	}
+	for _, c := range ok {
+		if err := ValidateNames(topo, c[0], c[1]); err != nil {
+			t.Errorf("ValidateNames(%v, %v) = %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestValidateNamesRejectsTyposWithKnownList(t *testing.T) {
+	topo := topology.Balanced(2)
+	if err := ValidateNames(topo, []string{"In-Trans-MM"}, nil); err == nil {
+		t.Error("typo mechanism accepted")
+	} else if !strings.Contains(err.Error(), "in-trns-mm") {
+		t.Errorf("mechanism error does not list registered names: %v", err)
+	}
+	if err := ValidateNames(topo, nil, []string{"UNFORM"}); err == nil {
+		t.Error("typo pattern accepted")
+	} else if !strings.Contains(err.Error(), "ADVc") {
+		t.Errorf("pattern error does not list known names: %v", err)
+	}
+	// Out-of-range parameters are caught against the topology, as errors
+	// rather than the constructors' panics.
+	if err := ValidateNames(topo, nil, []string{"ADV+40"}); err == nil {
+		t.Error("out-of-range ADV offset accepted for a 9-group network")
+	}
+	if err := ValidateNames(topo, nil, []string{"ADVc30"}); err == nil {
+		t.Error("out-of-range ADVc group count accepted")
 	}
 }
 

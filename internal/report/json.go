@@ -30,6 +30,23 @@ type ResultJSON struct {
 	Fairness       fairness  `json:"fairness"`
 	Injections     []int64   `json:"injections_per_router"`
 	WallSeconds    float64   `json:"wall_seconds"`
+	// Jobs is present for multi-job workload runs only.
+	Jobs []JobJSON `json:"jobs,omitempty"`
+}
+
+// JobJSON is the machine-readable per-job record of a workload run.
+type JobJSON struct {
+	Name         string   `json:"name"`
+	Nodes        int      `json:"nodes"`
+	Generated    int64    `json:"generated_packets"`
+	Backlogged   int64    `json:"backlogged_packets"`
+	Injected     int64    `json:"injected_packets"`
+	Delivered    int64    `json:"delivered_packets"`
+	Throughput   float64  `json:"accepted_load_per_node"`
+	AvgLatency   float64  `json:"avg_latency_cycles"`
+	MaxLatency   int64    `json:"max_latency_cycles"`
+	Fairness     fairness `json:"fairness"`
+	Interference float64  `json:"interference,omitempty"`
 }
 
 type breakdown struct {
@@ -49,7 +66,12 @@ type fairness struct {
 }
 
 // NewResultJSON converts a simulation result.
-func NewResultJSON(res *sim.Result) ResultJSON {
+func NewResultJSON(res *sim.Result) ResultJSON { return NewWorkloadJSON(res, nil) }
+
+// NewWorkloadJSON converts a simulation result, attaching per-job
+// interference ratios to the job records when available (pass nil
+// otherwise; single-workload runs carry no job records at all).
+func NewWorkloadJSON(res *sim.Result, interference []float64) ResultJSON {
 	b := res.Breakdown()
 	f := res.Fairness()
 	return ResultJSON{
@@ -78,7 +100,36 @@ func NewResultJSON(res *sim.Result) ResultJSON {
 		Fairness:    newFairnessJSON(f),
 		Injections:  res.Injections(),
 		WallSeconds: res.Wall.Seconds(),
+		Jobs:        newJobsJSON(res, interference),
 	}
+}
+
+// newJobsJSON builds the per-job records; interference may be nil or
+// shorter than the job count (missing entries are simply omitted).
+func newJobsJSON(res *sim.Result, interference []float64) []JobJSON {
+	if res.NumJobs() == 0 {
+		return nil
+	}
+	jobs := make([]JobJSON, res.NumJobs())
+	for j := range jobs {
+		jt := res.JobTotal(j)
+		jobs[j] = JobJSON{
+			Name:       res.JobNames[j],
+			Nodes:      res.JobNodes[j],
+			Generated:  jt.Generated,
+			Backlogged: jt.Backlogged,
+			Injected:   jt.Injected,
+			Delivered:  jt.Delivered,
+			Throughput: res.JobThroughput(j),
+			AvgLatency: res.JobAvgLatency(j),
+			MaxLatency: jt.MaxLatency,
+			Fairness:   newFairnessJSON(res.JobFairness(j)),
+		}
+		if j < len(interference) {
+			jobs[j].Interference = interference[j]
+		}
+	}
+	return jobs
 }
 
 func newFairnessJSON(f stats.Fairness) fairness {

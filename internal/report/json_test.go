@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/workload"
 )
 
 func runSmall(t *testing.T) *sim.Result {
@@ -56,5 +58,58 @@ func TestSanitizeInf(t *testing.T) {
 	}
 	if sanitize(2.5) != 2.5 {
 		t.Error("finite value mangled")
+	}
+}
+
+// Workload runs carry per-job records; single-workload runs omit them.
+func TestWorkloadJSONJobs(t *testing.T) {
+	if got := NewResultJSON(runSmall(t)); len(got.Jobs) != 0 {
+		t.Fatalf("single-workload run emitted %d job records", len(got.Jobs))
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 800
+	wl, err := workload.Compile(topology.New(cfg.Topology), workload.Spec{Jobs: []workload.JobSpec{
+		{Name: "a", Nodes: 8}, {Name: "b", Nodes: 8, Alloc: workload.AllocSpread},
+	}}, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunWithPattern(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewWorkloadJSON(res, []float64{1.25, 0.75})
+	if len(out.Jobs) != 2 {
+		t.Fatalf("%d job records", len(out.Jobs))
+	}
+	for j, rec := range out.Jobs {
+		if rec.Name != res.JobNames[j] || rec.Nodes != res.JobNodes[j] {
+			t.Errorf("job %d identity %+v", j, rec)
+		}
+		if rec.Delivered != res.JobTotal(j).Delivered || rec.AvgLatency != res.JobAvgLatency(j) {
+			t.Errorf("job %d metrics %+v", j, rec)
+		}
+	}
+	if out.Jobs[0].Interference != 1.25 || out.Jobs[1].Interference != 0.75 {
+		t.Error("interference ratios not attached")
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResultJSON
+	if err := json.Unmarshal(data, &back); err != nil || len(back.Jobs) != 2 {
+		t.Fatalf("round trip: %v, %d jobs", err, len(back.Jobs))
+	}
+
+	// JobTable renders the same records as text.
+	tbl := JobTable(res, []float64{1.25, 0.75}).String()
+	for _, want := range []string{"a", "b", "Interf", "1.25"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("job table lacks %q:\n%s", want, tbl)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/sweep"
 )
@@ -166,4 +167,36 @@ func BreakdownTable(series []sweep.Series) *Table {
 func FairnessSummary(f stats.Fairness) string {
 	return fmt.Sprintf("min inj %.2f, max/min %.3f, CoV %.4f, Jain %.4f",
 		f.MinInj, f.MaxMin, f.CoV, f.Jain)
+}
+
+// JobTable renders the per-job metrics of a multi-job workload run: one row
+// per job with its size, counters, per-node throughput, latency and
+// intra-job fairness. interference may be nil; when present it adds the
+// mixed-vs-solo latency ratio column (1.00 = no inter-job interference),
+// leaving cells blank for jobs beyond its length.
+func JobTable(res *sim.Result, interference []float64) *Table {
+	header := []string{"Job", "Nodes", "Generated", "Injected", "Delivered", "Thr/node", "AvgLat", "MaxLat", "CoV"}
+	if interference != nil {
+		header = append(header, "Interf")
+	}
+	t := NewTable(header...)
+	for j := 0; j < res.NumJobs(); j++ {
+		jt := res.JobTotal(j)
+		row := []string{
+			res.JobNames[j],
+			fmt.Sprintf("%d", res.JobNodes[j]),
+			fmt.Sprintf("%d", jt.Generated),
+			fmt.Sprintf("%d", jt.Injected),
+			fmt.Sprintf("%d", jt.Delivered),
+			fmt.Sprintf("%.4f", res.JobThroughput(j)),
+			fmt.Sprintf("%.1f", res.JobAvgLatency(j)),
+			fmt.Sprintf("%d", jt.MaxLatency),
+			fmt.Sprintf("%.4f", res.JobFairness(j).CoV),
+		}
+		if j < len(interference) {
+			row = append(row, fmt.Sprintf("%.2f", interference[j]))
+		}
+		t.AddRow(row...)
+	}
+	return t
 }

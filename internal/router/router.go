@@ -231,6 +231,14 @@ type Router struct {
 	batch     int // current batch-means span of the measurement window
 	stats     stats.Router
 
+	// Per-job attribution (multi-job workloads). nodeJob maps every node of
+	// the network to a job index (-1: unallocated); jobStats accumulates
+	// this router's share of each job's counters, attributed by packet
+	// source. Both are nil for single-workload runs, keeping the hot path
+	// untouched.
+	nodeJob  []int32
+	jobStats []stats.Job
+
 	// Activity signaling for the engine's active-router scheduler. peerIn
 	// and peerOut hold the router id (and peerInPort/peerOutPort the far
 	// port index) on the far side of each port's link (-1 when unknown or
@@ -385,6 +393,29 @@ func (r *Router) SetBatch(i int) {
 // SetDeliverHook installs an observer called for every delivered packet.
 func (r *Router) SetDeliverHook(h func(*packet.Packet)) { r.deliverHook = h }
 
+// SetJobAttribution installs per-job accounting: nodeJob maps every node id
+// to a job index (-1 for unallocated nodes) and numJobs sizes the per-job
+// accumulators. The slice is shared read-only across routers.
+func (r *Router) SetJobAttribution(nodeJob []int32, numJobs int) {
+	r.nodeJob = nodeJob
+	r.jobStats = make([]stats.Job, numJobs)
+}
+
+// JobStats returns this router's per-job accumulators (nil when no job
+// attribution is installed), for merging by the engine.
+func (r *Router) JobStats() []stats.Job { return r.jobStats }
+
+// jobOf returns the accumulator for the job owning node src, or nil.
+func (r *Router) jobOf(src int) *stats.Job {
+	if r.jobStats == nil {
+		return nil
+	}
+	if j := r.nodeJob[src]; j >= 0 {
+		return &r.jobStats[j]
+	}
+	return nil
+}
+
 // ConnectOut attaches the outgoing link of an output port.
 func (r *Router) ConnectOut(port int, l *Link) { r.ConnectOutTo(port, l, -1, -1) }
 
@@ -478,14 +509,20 @@ func (r *Router) EnqueueInjection(now int64, p *packet.Packet) {
 	r.inputs[port].qTotal++
 	if r.measuring {
 		r.stats.Generated++
+		if j := r.jobOf(p.Src); j != nil {
+			j.Generated++
+		}
 	}
 }
 
-// NoteBacklogged records a generation attempt refused by a full source
-// queue.
-func (r *Router) NoteBacklogged() {
+// NoteBacklogged records a generation attempt by node src refused by a full
+// source queue.
+func (r *Router) NoteBacklogged(src int) {
 	if r.measuring {
 		r.stats.Backlogged++
+		if j := r.jobOf(src); j != nil {
+			j.Backlogged++
+		}
 	}
 }
 
@@ -700,6 +737,9 @@ func (r *Router) completeTransfers(now int64) {
 			pkt.InjectTime = now
 			if r.measuring {
 				r.stats.Injected++
+				if j := r.jobOf(pkt.Src); j != nil {
+					j.Injected++
+				}
 			}
 		}
 		// Commit the routing decision and the hop.
@@ -1017,6 +1057,14 @@ func (r *Router) deliver(at int64, pkt *packet.Packet) {
 		s.LatencySum += lat
 		if lat > s.MaxLatency {
 			s.MaxLatency = lat
+		}
+		if j := r.jobOf(pkt.Src); j != nil {
+			j.Delivered++
+			j.DeliveredPhits += int64(pkt.Size)
+			j.LatencySum += lat
+			if lat > j.MaxLatency {
+				j.MaxLatency = lat
+			}
 		}
 		s.Latencies.Observe(lat)
 		base := r.pathCost(pkt.MinLocal, pkt.MinGlobal)

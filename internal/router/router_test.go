@@ -284,13 +284,13 @@ func TestInjectionBacklog(t *testing.T) {
 func TestBackloggedStat(t *testing.T) {
 	n := buildNet(t, topology.Balanced(2), routing.NewMinimal(), RoundRobin)
 	rt := n.routers[0]
-	rt.NoteBacklogged()
-	rt.NoteBacklogged()
+	rt.NoteBacklogged(0)
+	rt.NoteBacklogged(0)
 	if got := rt.Stats().Backlogged; got != 2 {
 		t.Fatalf("Backlogged = %d, want 2", got)
 	}
 	rt.SetMeasuring(false)
-	rt.NoteBacklogged()
+	rt.NoteBacklogged(0)
 	if got := rt.Stats().Backlogged; got != 2 {
 		t.Fatalf("Backlogged counted outside measurement: %d", got)
 	}

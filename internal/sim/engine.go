@@ -132,11 +132,25 @@ func runSequential(net *Network, warmup, total int64) error {
 	measure := total - warmup
 	var lastSeen int64 // most recent activity observed by the watchdog
 	batch := -1
+	// Scheduler-aware PiggyBack refresh: a group's PB bits depend only on
+	// its own routers' link loads, which change only when one of those
+	// routers steps — so only groups dirtied by the previous cycle's step
+	// list need a refresh (all groups start dirty).
+	var pbDirty []bool
+	if net.pb != nil {
+		pbDirty = make([]bool, net.Topo.NumGroups())
+		for g := range pbDirty {
+			pbDirty[g] = true
+		}
+	}
 	for now := int64(0); now < total; now++ {
 		setPhase(net, now, warmup, measure, &batch)
 		if net.pb != nil {
-			for g := 0; g < net.Topo.NumGroups(); g++ {
-				net.pb.updateGroup(g)
+			for g, d := range pbDirty {
+				if d {
+					net.pb.updateGroup(g)
+					pbDirty[g] = false
+				}
 			}
 		}
 		sched.wakeDue(now)
@@ -147,6 +161,11 @@ func runSequential(net *Network, warmup, total int64) error {
 			sched.settle(net, r, now, nev)
 		}
 		sched.steps += int64(len(sched.list))
+		if net.pb != nil {
+			for _, r := range sched.list {
+				pbDirty[net.Topo.RouterGroup(r)] = true
+			}
+		}
 		// Events created this cycle towards already-sleeping routers
 		// advance their wake-ups (settle saw everything earlier).
 		for _, e := range wbuf {
@@ -231,6 +250,18 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 	}()
 	net.engineSteps = 0
 
+	// Scheduler-aware PiggyBack refresh (see runSequential): the
+	// coordinator marks the groups of stepped routers dirty between
+	// barriers; each worker refreshes — and clears — only the dirty groups
+	// of its own group shard, so every flag keeps a single writer per phase.
+	var pbDirty []bool
+	if net.pb != nil {
+		pbDirty = make([]bool, groups)
+		for g := range pbDirty {
+			pbDirty[g] = true
+		}
+	}
+
 	// Each worker has a dedicated start channel so a fast worker can never
 	// steal another worker's phase signal; done is the converging barrier.
 	starts := make([]chan int64, workers)
@@ -240,9 +271,13 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 		go func(w int) {
 			for now := range starts[w] {
 				if net.pb != nil {
-					// Phase 1: refresh PB bits for this worker's groups.
+					// Phase 1: refresh the dirty PB groups of this
+					// worker's shard.
 					for g := gShards[w].lo; g < gShards[w].hi; g++ {
-						net.pb.updateGroup(g)
+						if pbDirty[g] {
+							net.pb.updateGroup(g)
+							pbDirty[g] = false
+						}
 					}
 					done <- struct{}{}
 					// Phase 2 signal from the coordinator.
@@ -304,6 +339,9 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 		for w := 0; w < workers; w++ {
 			for _, r := range lists[w] {
 				sched.settle(net, r, now, wakeAt[r])
+				if pbDirty != nil {
+					pbDirty[net.Topo.RouterGroup(r)] = true
+				}
 			}
 			sched.steps += int64(len(lists[w]))
 		}

@@ -18,6 +18,7 @@ type nodeState struct {
 	rnd          *rng.Source
 	nextGen      int64
 	seq          uint64
+	q            float64 // generation probability per cycle (per-node for workloads)
 	logOneMinusQ float64 // cached for geometric inter-arrival sampling
 	active       bool
 }
@@ -32,6 +33,8 @@ type Network struct {
 	mech    routing.Mechanism
 	env     routing.Env
 	pattern traffic.Pattern
+	timed   traffic.Timed // non-nil when pattern draws depend on the cycle
+	jobs    traffic.JobMapper
 	pb      *pbState
 	nodes   []nodeState
 	pool    sync.Pool
@@ -126,22 +129,46 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 		}
 	}
 
-	// Traffic sources.
+	// Traffic sources. Patterns may silence nodes (Memberer), override
+	// per-node loads (NodeLoads), or draw cycle-dependent destinations
+	// (Timed) — all optional interfaces that leave the plain paths
+	// bit-identical to the seed.
+	net.timed, _ = pat.(traffic.Timed)
+	member, _ := pat.(traffic.Memberer)
+	loads, _ := pat.(traffic.NodeLoads)
 	net.nodes = make([]nodeState, topo.NumNodes())
 	nodeRng := root.Split()
-	q := net.genProb
 	for n := range net.nodes {
 		ns := &net.nodes[n]
 		ns.rnd = nodeRng.Split()
-		ns.active = q > 0
-		if app, ok := pat.(*traffic.AppUniform); ok && !app.Member(n) {
+		ns.q = net.genProb
+		if loads != nil {
+			if l := loads.NodeLoad(n); l > 0 {
+				ns.q = l / float64(rcfg.PacketSize)
+			}
+		}
+		ns.active = ns.q > 0
+		if member != nil && !member.Member(n) {
 			ns.active = false
 		}
-		if ns.active && q < 1 {
-			ns.logOneMinusQ = math.Log(1 - q)
+		if ns.active && ns.q < 1 {
+			ns.logOneMinusQ = math.Log(1 - ns.q)
 		}
 		if ns.active {
-			ns.nextGen = ns.nextArrival(-1, q)
+			ns.nextGen = ns.nextArrival(-1, ns.q)
+		}
+	}
+
+	// Per-job attribution: when the pattern maps nodes to jobs, every
+	// router accumulates per-job counters attributed by packet source.
+	if jm, ok := pat.(traffic.JobMapper); ok && jm.NumJobs() > 0 {
+		net.jobs = jm
+		nodeJob := make([]int32, topo.NumNodes())
+		for n := range nodeJob {
+			nodeJob[n] = int32(jm.NodeJob(n))
+		}
+		for _, r := range net.Routers {
+			r.SetJobAttribution(nodeJob, jm.NumJobs())
 		}
 	}
 	net.genWake = make([]int64, topo.NumRouters())
@@ -195,15 +222,32 @@ func (net *Network) generate(r int, now int64) {
 			continue
 		}
 		for ns.nextGen <= now {
-			ns.nextGen = ns.nextArrival(ns.nextGen, net.genProb)
-			if rtr.InjectionBacklog(i) >= net.cfg.Router.InjectionQueuePackets {
-				rtr.NoteBacklogged()
-				continue
-			}
+			ns.nextGen = ns.nextArrival(ns.nextGen, ns.q)
 			src := base + i
-			dst := net.pattern.Dest(src, ns.rnd)
-			if dst < 0 {
-				continue
+			var dst int
+			if net.timed != nil {
+				// Timed patterns decline draws in off phases; those are
+				// not generation attempts, so the off-phase decision comes
+				// before the backlog count. (The plain path below keeps
+				// the seed's order — backlog check first, no dest draw —
+				// bit-for-bit.)
+				dst = net.timed.DestAt(src, now, ns.rnd)
+				if dst < 0 {
+					continue
+				}
+				if rtr.InjectionBacklog(i) >= net.cfg.Router.InjectionQueuePackets {
+					rtr.NoteBacklogged(src)
+					continue
+				}
+			} else {
+				if rtr.InjectionBacklog(i) >= net.cfg.Router.InjectionQueuePackets {
+					rtr.NoteBacklogged(src)
+					continue
+				}
+				dst = net.pattern.Dest(src, ns.rnd)
+				if dst < 0 {
+					continue
+				}
 			}
 			pkt := net.pool.Get().(*packet.Packet)
 			pkt.Reset()

@@ -24,6 +24,19 @@ type pbState struct {
 	bits [][]bool // per group: a*h saturation bits
 	// marginPhits is the T-packet margin over the router mean.
 	marginPhits float64
+	// updates counts updateGroup calls per group (one writer per group even
+	// under the parallel engine), so tests can verify the scheduler engines
+	// actually skip refreshes of quiescent groups.
+	updates []int64
+}
+
+// totalUpdates sums the per-group refresh counters.
+func (s *pbState) totalUpdates() int64 {
+	var n int64
+	for _, u := range s.updates {
+		n += u
+	}
+	return n
 }
 
 func newPBState(net *Network, thresholdPkts float64, packetSize int) *pbState {
@@ -34,11 +47,17 @@ func newPBState(net *Network, thresholdPkts float64, packetSize int) *pbState {
 	for g := range s.bits {
 		s.bits[g] = make([]bool, p.A*p.H)
 	}
+	s.updates = make([]int64, t.NumGroups())
 	return s
 }
 
-// updateGroup recomputes the bits of one group.
+// updateGroup recomputes the bits of one group. A group's bits depend only
+// on its own routers' output-link loads, which change exclusively when one
+// of those routers steps — so the scheduler engines refresh only groups
+// with a router stepped in the previous cycle (bit-identical to the dense
+// refresh, which recomputes unchanged bits to the same values).
 func (s *pbState) updateGroup(g int) {
+	s.updates[g]++
 	p := s.topo.Params()
 	bits := s.bits[g]
 	for i := 0; i < p.A; i++ {

@@ -20,6 +20,14 @@ type Result struct {
 	PerRouter []stats.Router
 	// RoutersPerGroup lets callers slice PerRouter by group.
 	RoutersPerGroup int
+	// Multi-job workload attribution (empty for single-workload runs):
+	// JobNames and JobNodes describe the jobs, PerRouterJobs holds each
+	// router's per-job accumulators (outer index = router id), and
+	// JobRouters lists the routers hosting at least one node of each job.
+	JobNames      []string
+	JobNodes      []int
+	PerRouterJobs [][]stats.Job
+	JobRouters    [][]int
 	// Wall is the wall-clock duration of the run.
 	Wall time.Duration
 	// Seed echoes the run's seed.
@@ -40,6 +48,34 @@ func newResult(net *Network, cfg *Config, wall time.Duration) *Result {
 	}
 	for i, r := range net.Routers {
 		res.PerRouter[i] = *r.Stats()
+	}
+	if jm := net.jobs; jm != nil {
+		nj := jm.NumJobs()
+		res.JobNames = make([]string, nj)
+		for j := range res.JobNames {
+			res.JobNames[j] = jm.JobName(j)
+		}
+		res.JobNodes = make([]int, nj)
+		res.JobRouters = make([][]int, nj)
+		p := net.Topo.Params()
+		for r := range net.Routers {
+			hosted := make([]bool, nj)
+			for i := 0; i < p.P; i++ {
+				if j := jm.NodeJob(r*p.P + i); j >= 0 {
+					res.JobNodes[j]++
+					hosted[j] = true
+				}
+			}
+			for j, h := range hosted {
+				if h {
+					res.JobRouters[j] = append(res.JobRouters[j], r)
+				}
+			}
+		}
+		res.PerRouterJobs = make([][]stats.Job, len(net.Routers))
+		for i, r := range net.Routers {
+			res.PerRouterJobs[i] = append([]stats.Job(nil), r.JobStats()...)
+		}
 	}
 	return res
 }
@@ -168,4 +204,54 @@ func (r *Result) GroupInjections(group int) []int64 {
 // the network, as in Tables II and III.
 func (r *Result) Fairness() stats.Fairness {
 	return stats.ComputeFairness(r.Injections())
+}
+
+// NumJobs returns the number of jobs of a multi-job workload run, or 0.
+func (r *Result) NumJobs() int { return len(r.JobNames) }
+
+// JobTotal returns job j's counters merged over all routers.
+func (r *Result) JobTotal(j int) stats.Job {
+	var t stats.Job
+	for i := range r.PerRouterJobs {
+		t.Merge(&r.PerRouterJobs[i][j])
+	}
+	return t
+}
+
+// JobThroughput returns job j's accepted load in phits/(node·cycle),
+// normalised by the job's own node count so jobs of different sizes are
+// comparable.
+func (r *Result) JobThroughput(j int) float64 {
+	if r.JobNodes[j] == 0 {
+		return 0
+	}
+	t := r.JobTotal(j)
+	return float64(t.DeliveredPhits) / (float64(r.JobNodes[j]) * float64(r.MeasuredCycles))
+}
+
+// JobAvgLatency returns the mean latency in cycles of job j's delivered
+// packets (0 when the job delivered nothing).
+func (r *Result) JobAvgLatency(j int) float64 {
+	t := r.JobTotal(j)
+	if t.Delivered == 0 {
+		return 0
+	}
+	return float64(t.LatencySum) / float64(t.Delivered)
+}
+
+// JobInjections returns job j's injected packet counts per hosting router,
+// in JobRouters[j] order — the per-job counterpart of Injections.
+func (r *Result) JobInjections(j int) []int64 {
+	out := make([]int64, len(r.JobRouters[j]))
+	for i, rid := range r.JobRouters[j] {
+		out[i] = r.PerRouterJobs[rid][j].Injected
+	}
+	return out
+}
+
+// JobFairness returns the fairness metrics computed over job j's per-router
+// injections, restricted to the routers hosting the job — intra-job
+// throughput fairness, the per-job analogue of Tables II and III.
+func (r *Result) JobFairness(j int) stats.Fairness {
+	return stats.ComputeFairness(r.JobInjections(j))
 }

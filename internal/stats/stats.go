@@ -78,6 +78,35 @@ func (r *Router) Merge(other *Router) {
 	}
 }
 
+// Job accumulates per-job counters inside one router, attributed by the
+// packet's source node. Injection-side counters (Generated, Backlogged,
+// Injected) are written by the job node's own router, delivery-side
+// counters by the destination router, so — like Router — every instance has
+// a single writer even under the parallel engine, and per-router instances
+// are merged after the run.
+type Job struct {
+	Generated      int64
+	Backlogged     int64
+	Injected       int64
+	Delivered      int64
+	DeliveredPhits int64
+	LatencySum     int64
+	MaxLatency     int64
+}
+
+// Merge adds other's counters into j.
+func (j *Job) Merge(other *Job) {
+	j.Generated += other.Generated
+	j.Backlogged += other.Backlogged
+	j.Injected += other.Injected
+	j.Delivered += other.Delivered
+	j.DeliveredPhits += other.DeliveredPhits
+	j.LatencySum += other.LatencySum
+	if other.MaxLatency > j.MaxLatency {
+		j.MaxLatency = other.MaxLatency
+	}
+}
+
 // Breakdown is the average per-packet latency decomposition of Figure 3,
 // in cycles. Base + Misroute + WaitInj + WaitLocal + WaitGlobal equals the
 // average total latency exactly (an identity tested in the engine tests).

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -141,6 +142,75 @@ func TestWorkersBound(t *testing.T) {
 	for _, s := range samples {
 		if s.Err != nil {
 			t.Fatal(s.Err)
+		}
+	}
+}
+
+// The raw samples — not just the aggregated series — must be bit-identical
+// for any Workers value: each simulation is self-contained and the pool
+// only changes scheduling order, never results.
+func TestRunSamplesIdenticalAcrossWorkers(t *testing.T) {
+	ref := testGrid()
+	ref.Workers = 1
+	want := ref.Run(nil)
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		g := testGrid()
+		g.Workers = workers
+		got := g.Run(nil)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Point != want[i].Point {
+				t.Fatalf("workers=%d: sample %d is %+v, want %+v — order not deterministic",
+					workers, i, got[i].Point, want[i].Point)
+			}
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("workers=%d: sample %d error mismatch", workers, i)
+			}
+			for r := range want[i].Result.PerRouter {
+				if got[i].Result.PerRouter[r] != want[i].Result.PerRouter[r] {
+					t.Fatalf("workers=%d: sample %d router %d stats diverge", workers, i, r)
+				}
+			}
+		}
+	}
+}
+
+// When a seed fails, Aggregate must report it but still average the
+// surviving seeds — the series values must equal a run over the surviving
+// seeds alone.
+func TestAggregateAveragesSurvivingSeeds(t *testing.T) {
+	g := testGrid()
+	g.Mechanisms = []string{"MIN"}
+	g.Loads = []float64{0.1}
+	g.Seeds = []uint64{1, 2}
+	samples := g.Run(nil)
+	// Fail seed 2 (samples are in Points order: seed 1 then seed 2).
+	samples[1].Err = errFake{}
+	series, err := Aggregate(samples)
+	if err == nil {
+		t.Fatal("failed seed not reported")
+	}
+	if !strings.Contains(err.Error(), "seed 2") || !strings.Contains(err.Error(), "fake") {
+		t.Errorf("error lacks point context: %v", err)
+	}
+	if len(series) != 1 || series[0].Seeds != 1 {
+		t.Fatalf("series %+v", series)
+	}
+
+	g.Seeds = []uint64{1}
+	want, werr := Aggregate(g.Run(nil))
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if series[0].Throughput != want[0].Throughput || series[0].AvgLatency != want[0].AvgLatency {
+		t.Errorf("surviving-seed average %v/%v differs from solo run %v/%v",
+			series[0].Throughput, series[0].AvgLatency, want[0].Throughput, want[0].AvgLatency)
+	}
+	for i := range want[0].Injections {
+		if series[0].Injections[i] != want[0].Injections[i] {
+			t.Fatalf("injection vector polluted by the failed seed at router %d", i)
 		}
 	}
 }

@@ -26,6 +26,41 @@ type Pattern interface {
 	Dest(src int, rnd *rng.Source) int
 }
 
+// Timed is implemented by patterns whose destination draw depends on the
+// simulation cycle (phased workloads). The engine calls DestAt with the
+// arrival cycle of the packet; both engines process every arrival at its
+// exact cycle, so DestAt sees identical times regardless of engine or
+// worker count. A negative return means the source stays silent this draw.
+type Timed interface {
+	Pattern
+	DestAt(src int, now int64, rnd *rng.Source) int
+}
+
+// Memberer is implemented by patterns under which some sources never
+// generate traffic at all; the simulator leaves non-members out of the
+// generation calendar entirely.
+type Memberer interface {
+	Member(node int) bool
+}
+
+// NodeLoads is implemented by patterns that override the offered load of
+// individual nodes (multi-job workloads with per-job loads). NodeLoad
+// returns the offered load in phits/(node·cycle) for the node, or 0 to use
+// the run's configured load.
+type NodeLoads interface {
+	NodeLoad(node int) float64
+}
+
+// JobMapper attributes nodes to jobs for per-job accounting. Implemented by
+// workload patterns; the simulator then reports throughput, latency and
+// fairness per job as well as globally.
+type JobMapper interface {
+	NumJobs() int
+	JobName(j int) string
+	// NodeJob returns the job index of a node, or -1 for unallocated nodes.
+	NodeJob(node int) int
+}
+
 // Uniform is the UN pattern: every packet targets a uniform random node of
 // the whole network (excluding the source node itself).
 type Uniform struct {
@@ -168,17 +203,23 @@ type Permutation struct {
 // NewPermutation draws a random fixed-pairing permutation without fixed
 // points (a derangement in expectation; self-mappings are re-drawn).
 func NewPermutation(t *topology.Topology, rnd *rng.Source) *Permutation {
-	n := t.NumNodes()
-	perm := make([]int, n)
+	perm := make([]int, t.NumNodes())
 	rnd.Perm(perm)
-	// Remove fixed points by swapping with the next index.
+	Derange(perm)
+	return &Permutation{dest: perm}
+}
+
+// Derange removes the fixed points of a permutation in place by swapping
+// each self-mapping with its next index — shared by the node-level PERM
+// pattern and the workload compiler's rank-level pairings.
+func Derange(perm []int) {
+	n := len(perm)
 	for i := 0; i < n; i++ {
 		if perm[i] == i {
 			j := (i + 1) % n
 			perm[i], perm[j] = perm[j], perm[i]
 		}
 	}
-	return &Permutation{dest: perm}
 }
 
 // Name implements Pattern.
@@ -215,6 +256,9 @@ func ByName(t *topology.Topology, name string, rnd *rng.Source) (Pattern, error)
 		if err != nil {
 			return nil, fmt.Errorf("traffic: bad ADVc group count in %q", name)
 		}
+		if k <= 0 || k >= t.NumGroups() {
+			return nil, fmt.Errorf("traffic: ADVc group count %d out of range [1,%d)", k, t.NumGroups())
+		}
 		return NewConsecutive(t, k), nil
 	case strings.HasPrefix(u, "ADV"):
 		s := strings.TrimPrefix(u[len("ADV"):], "+")
@@ -225,8 +269,25 @@ func ByName(t *topology.Topology, name string, rnd *rng.Source) (Pattern, error)
 		if err != nil {
 			return nil, fmt.Errorf("traffic: bad ADV offset in %q", name)
 		}
+		if off <= 0 || off >= t.NumGroups() {
+			return nil, fmt.Errorf("traffic: ADV offset %d out of range [1,%d)", off, t.NumGroups())
+		}
 		return NewAdversarial(t, off), nil
 	default:
-		return nil, fmt.Errorf("traffic: unknown pattern %q (known: UN, ADV+i, ADVc, ADVc<k>, PERM)", name)
+		return nil, fmt.Errorf("traffic: unknown pattern %q (known: %s)", name, strings.Join(KnownNames(), ", "))
 	}
+}
+
+// KnownNames lists the pattern name forms ByName accepts, for error
+// messages and flag usage strings.
+func KnownNames() []string {
+	return []string{"UN", "ADV+<i>", "ADVc", "ADVc<k>", "PERM", "TORNADO", "BITREV", "SHUFFLE"}
+}
+
+// Validate checks a pattern name against the topology without keeping the
+// built pattern, so tools can reject typos and out-of-range parameters at
+// flag time instead of deep inside a run.
+func Validate(t *topology.Topology, name string) error {
+	_, err := ByName(t, name, rng.New(1))
+	return err
 }

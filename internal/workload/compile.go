@@ -1,0 +1,376 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dragonfly/internal/rng"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+)
+
+// compileSalt decorrelates the compile-time random stream (allocation,
+// permutation draws) from the simulator's per-run streams, which are also
+// derived from the run seed.
+const compileSalt = 0x5e6d4f3a7b909a1c
+
+// Workload is a compiled workload: a node-level traffic pattern plus the
+// node→job attribution map. It implements traffic.Pattern, traffic.Timed,
+// traffic.Memberer, traffic.NodeLoads and traffic.JobMapper, so it plugs
+// straight into sim.RunWithPattern and the simulator reports per-job
+// metrics.
+type Workload struct {
+	topo     *topology.Topology
+	jobs     []*job
+	nodeJob  []int32 // node → job index, -1 unallocated (or silenced by Solo)
+	nodeRank []int32 // node → rank within its job
+	name     string
+}
+
+// job is the compiled form of a JobSpec.
+type job struct {
+	spec     JobSpec
+	nodes    []int // node ids in rank order
+	routers  []int // hosting routers in allocation order
+	patterns []rankPattern
+	period   int64 // bursty/switch phase length; 0 = steady
+	onCycles int64 // bursty: on-cycles per period; 0 = always on
+}
+
+// rankPattern draws an intra-job destination by source rank.
+type rankPattern interface {
+	label() string
+	// dest returns the destination rank for a packet from rank src, or -1
+	// for no draw.
+	dest(n int, src int, rnd *rng.Source) int
+}
+
+// rankUniform is uniform traffic over the job, excluding the source.
+type rankUniform struct{}
+
+func (rankUniform) label() string { return "UN" }
+
+func (rankUniform) dest(n, src int, rnd *rng.Source) int {
+	d := rnd.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// rankShift sends rank i to rank i+k mod n — the nearest-neighbour /
+// ring-exchange family.
+type rankShift struct{ k int }
+
+func (s rankShift) label() string { return "SHIFT+" + strconv.Itoa(s.k) }
+
+func (s rankShift) dest(n, src int, _ *rng.Source) int { return (src + s.k) % n }
+
+// rankPerm is a fixed random pairing (derangement) over the job's ranks.
+type rankPerm struct{ to []int }
+
+func (rankPerm) label() string { return "PERM" }
+
+func (p rankPerm) dest(_, src int, _ *rng.Source) int { return p.to[src] }
+
+// rankPatternByName compiles an intra-job pattern name for a job of n
+// nodes. PERM consumes the compile rng.
+func rankPatternByName(name string, n int, rnd *rng.Source) (rankPattern, error) {
+	u := strings.ToUpper(strings.TrimSpace(name))
+	switch {
+	case u == "UN" || u == "UNIFORM":
+		return rankUniform{}, nil
+	case u == "PERM" || u == "PERMUTATION":
+		perm := make([]int, n)
+		rnd.Perm(perm)
+		traffic.Derange(perm)
+		return rankPerm{to: perm}, nil
+	case u == "SHIFT" || strings.HasPrefix(u, "SHIFT+"):
+		k := 1
+		if u != "SHIFT" {
+			var err error
+			if k, err = strconv.Atoi(u[len("SHIFT+"):]); err != nil {
+				return nil, fmt.Errorf("workload: bad SHIFT offset in %q", name)
+			}
+		}
+		if k <= 0 {
+			return nil, fmt.Errorf("workload: SHIFT offset must be positive, got %d", k)
+		}
+		if k%n == 0 {
+			return nil, fmt.Errorf("workload: SHIFT+%d collapses to self for a %d-node job", k, n)
+		}
+		return rankShift{k: k % n}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown intra-job pattern %q (known: UN, PERM, SHIFT+<k>)", name)
+	}
+}
+
+// Compile places every job of the spec on the topology and builds the
+// node-level pattern. seed drives the compile-time random choices
+// (random allocation, PERM pairings) — typically the run's seed, so a
+// workload is reproducible from the same configuration.
+func Compile(t *topology.Topology, spec Spec, seed uint64) (*Workload, error) {
+	if len(spec.Jobs) == 0 {
+		return nil, fmt.Errorf("workload: spec has no jobs")
+	}
+	root := rng.New(seed ^ compileSalt)
+	p := t.Params()
+	w := &Workload{
+		topo:     t,
+		nodeJob:  make([]int32, t.NumNodes()),
+		nodeRank: make([]int32, t.NumNodes()),
+	}
+	for n := range w.nodeJob {
+		w.nodeJob[n] = -1
+	}
+	freeRouters := t.NumRouters()
+	free := make([]bool, t.NumRouters())
+	for r := range free {
+		free[r] = true
+	}
+	names := make(map[string]bool, len(spec.Jobs))
+	labels := make([]string, 0, len(spec.Jobs))
+	for idx := range spec.Jobs {
+		js := spec.Jobs[idx] // copy: normalize fills defaults locally
+		if err := js.normalize(idx); err != nil {
+			return nil, err
+		}
+		if names[js.Name] {
+			return nil, fmt.Errorf("workload: duplicate job name %q", js.Name)
+		}
+		names[js.Name] = true
+		need := (js.Nodes + p.P - 1) / p.P
+		if need > freeRouters {
+			return nil, fmt.Errorf("workload: job %q needs %d routers but only %d of %d are free",
+				js.Name, need, freeRouters, t.NumRouters())
+		}
+		firstGroup := ((js.FirstGroup % t.NumGroups()) + t.NumGroups()) % t.NumGroups()
+		var routers []int
+		var err error
+		switch js.Alloc {
+		case AllocConsecutive:
+			routers = allocConsecutive(t, free, firstGroup*p.A, need)
+		case AllocRandom:
+			routers = allocRandom(free, need, root)
+		case AllocSpread:
+			routers = allocSpread(t, free, firstGroup, need)
+		}
+		if len(routers) != need {
+			return nil, fmt.Errorf("workload: job %q: allocation produced %d of %d routers", js.Name, len(routers), need)
+		}
+		freeRouters -= need
+
+		jb := &job{spec: js, routers: routers}
+		for _, r := range routers {
+			for i := 0; i < p.P && len(jb.nodes) < js.Nodes; i++ {
+				node := t.NodeID(r, i)
+				w.nodeJob[node] = int32(len(w.jobs))
+				w.nodeRank[node] = int32(len(jb.nodes))
+				jb.nodes = append(jb.nodes, node)
+			}
+		}
+		patNames := []string{js.Pattern}
+		if js.Phase.Kind == PhaseSwitch {
+			patNames = js.Phase.Patterns
+		}
+		for _, pn := range patNames {
+			rp, perr := rankPatternByName(pn, len(jb.nodes), root.Split())
+			if perr != nil {
+				err = fmt.Errorf("workload: job %q: %w", js.Name, perr)
+				break
+			}
+			jb.patterns = append(jb.patterns, rp)
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch js.Phase.Kind {
+		case PhaseBursty:
+			jb.period = js.Phase.Period
+			jb.onCycles = int64(js.Phase.Duty*float64(js.Phase.Period) + 0.5)
+			if jb.onCycles < 1 {
+				jb.onCycles = 1
+			}
+			if jb.onCycles >= jb.period {
+				jb.onCycles = 0 // full duty degenerates to steady
+			}
+		case PhaseSwitch:
+			jb.period = js.Phase.Period
+		}
+		w.jobs = append(w.jobs, jb)
+		labels = append(labels, js.Name)
+	}
+	w.name = "WL(" + strings.Join(labels, "+") + ")"
+	return w, nil
+}
+
+// allocConsecutive takes the first free routers scanning from router start
+// (wrapping), the first-fit policy of a consecutive-group scheduler.
+func allocConsecutive(t *topology.Topology, free []bool, start, need int) []int {
+	out := make([]int, 0, need)
+	n := t.NumRouters()
+	for i := 0; i < n && len(out) < need; i++ {
+		r := (start + i) % n
+		if free[r] {
+			free[r] = false
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// allocRandom picks need uniform random free routers.
+func allocRandom(free []bool, need int, rnd *rng.Source) []int {
+	pool := make([]int, 0, len(free))
+	for r, f := range free {
+		if f {
+			pool = append(pool, r)
+		}
+	}
+	out := make([]int, 0, need)
+	for len(out) < need && len(pool) > 0 {
+		i := rnd.Intn(len(pool))
+		r := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		free[r] = false
+		out = append(out, r)
+	}
+	return out
+}
+
+// allocSpread round-robins over groups starting at firstGroup, taking the
+// lowest free router of each group per pass — the group-spread placement
+// that avoids the consecutive bottleneck.
+func allocSpread(t *topology.Topology, free []bool, firstGroup, need int) []int {
+	out := make([]int, 0, need)
+	a := t.Params().A
+	groups := t.NumGroups()
+	for len(out) < need {
+		took := false
+		for gi := 0; gi < groups && len(out) < need; gi++ {
+			g := (firstGroup + gi) % groups
+			for i := 0; i < a; i++ {
+				r := t.RouterID(g, i)
+				if free[r] {
+					free[r] = false
+					out = append(out, r)
+					took = true
+					break
+				}
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// Name implements traffic.Pattern.
+func (w *Workload) Name() string { return w.name }
+
+// Dest implements traffic.Pattern as the cycle-0 draw; the simulator uses
+// DestAt whenever the pattern is wired into a run.
+func (w *Workload) Dest(src int, rnd *rng.Source) int { return w.DestAt(src, 0, rnd) }
+
+// DestAt implements traffic.Timed: the destination draw for a packet
+// generated by src at the given cycle, honouring the job's phase schedule.
+// It returns -1 when src is unallocated or its job is in an off phase.
+func (w *Workload) DestAt(src int, now int64, rnd *rng.Source) int {
+	ji := w.nodeJob[src]
+	if ji < 0 {
+		return -1
+	}
+	jb := w.jobs[ji]
+	if jb.onCycles > 0 && now%jb.period >= jb.onCycles {
+		return -1 // bursty off phase
+	}
+	pat := jb.patterns[0]
+	if len(jb.patterns) > 1 {
+		pat = jb.patterns[(now/jb.period)%int64(len(jb.patterns))]
+	}
+	d := pat.dest(len(jb.nodes), int(w.nodeRank[src]), rnd)
+	if d < 0 {
+		return -1
+	}
+	return jb.nodes[d]
+}
+
+// Member implements traffic.Memberer: only allocated (and, after Solo,
+// selected) nodes generate traffic.
+func (w *Workload) Member(node int) bool { return w.nodeJob[node] >= 0 }
+
+// NodeLoad implements traffic.NodeLoads: a job's configured load, or 0 to
+// inherit the run default.
+func (w *Workload) NodeLoad(node int) float64 {
+	if j := w.nodeJob[node]; j >= 0 {
+		return w.jobs[j].spec.Load
+	}
+	return 0
+}
+
+// NumJobs implements traffic.JobMapper.
+func (w *Workload) NumJobs() int { return len(w.jobs) }
+
+// JobName implements traffic.JobMapper.
+func (w *Workload) JobName(j int) string { return w.jobs[j].spec.Name }
+
+// NodeJob implements traffic.JobMapper.
+func (w *Workload) NodeJob(node int) int { return int(w.nodeJob[node]) }
+
+// JobSpecOf returns the normalised spec of job j.
+func (w *Workload) JobSpecOf(j int) JobSpec { return w.jobs[j].spec }
+
+// JobRouters returns the routers hosting job j, in allocation order.
+func (w *Workload) JobRouters(j int) []int {
+	return append([]int(nil), w.jobs[j].routers...)
+}
+
+// JobNodeCount returns the node count of job j.
+func (w *Workload) JobNodeCount(j int) int { return len(w.jobs[j].nodes) }
+
+// JobDesc returns a one-line human description of job j's placement and
+// behaviour for reports.
+func (w *Workload) JobDesc(j int) string {
+	jb := w.jobs[j]
+	var phase string
+	switch {
+	case jb.onCycles > 0:
+		phase = fmt.Sprintf(" bursty(%d×%d on)", jb.period, jb.onCycles)
+	case len(jb.patterns) > 1:
+		names := make([]string, len(jb.patterns))
+		for i, p := range jb.patterns {
+			names[i] = p.label()
+		}
+		return fmt.Sprintf("%s switch(%d) on %d routers (%s)",
+			strings.Join(names, "/"), jb.period, len(jb.routers), jb.spec.Alloc)
+	}
+	return fmt.Sprintf("%s%s on %d routers (%s)", jb.patterns[0].label(), phase, len(jb.routers), jb.spec.Alloc)
+}
+
+// Solo returns a copy of the workload in which only job j generates
+// traffic, keeping its exact placement and job indices — the baseline for
+// the inter-job interference metric (a job's latency in the mix vs. the
+// same placement running alone).
+func (w *Workload) Solo(j int) *Workload {
+	if j < 0 || j >= len(w.jobs) {
+		panic(fmt.Sprintf("workload: Solo(%d) out of range [0,%d)", j, len(w.jobs)))
+	}
+	s := &Workload{
+		topo:     w.topo,
+		jobs:     w.jobs,
+		nodeJob:  make([]int32, len(w.nodeJob)),
+		nodeRank: w.nodeRank,
+		name:     w.name + "/solo:" + w.jobs[j].spec.Name,
+	}
+	for n, ji := range w.nodeJob {
+		if ji == int32(j) {
+			s.nodeJob[n] = ji
+		} else {
+			s.nodeJob[n] = -1
+		}
+	}
+	return s
+}
