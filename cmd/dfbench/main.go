@@ -1,10 +1,11 @@
 // dfbench is the engine benchmark-regression harness: it times the dense
-// reference engine against the active-router scheduler engine on the
-// standard engine benchmark configurations (BenchmarkEngineSequential /
-// BenchmarkEngineParallel operating points plus a saturation regression
-// guard), verifies the two produce bit-identical results, and writes the
-// measurements to BENCH_engine.json so successive PRs accumulate a
-// performance trajectory.
+// reference engine (seed ring links) against the active-router scheduler
+// engine (event-queue links) on the standard engine benchmark
+// configurations (BenchmarkEngineSequential / BenchmarkEngineParallel
+// operating points plus a saturation regression guard), verifies the two
+// produce bit-identical results, measures network-construction memory for
+// ring vs event links at h=4 and h=6, and writes the measurements to
+// BENCH_engine.json so successive PRs accumulate a performance trajectory.
 //
 // Usage:
 //
@@ -18,6 +19,9 @@
 // used rather than absolute times, so the check tolerates slow or noisy
 // CI runners: both engines run on the same machine in the same process,
 // and a genuine scheduler regression shows up as a lower ratio everywhere.
+// Construction bytes are near-deterministic (allocation sizes, not
+// timings), so they are gated per scenario: event-link builds may not
+// grow more than max-regress over the baseline, locking in the memory win.
 package main
 
 import (
@@ -52,12 +56,23 @@ type scenario struct {
 	Identical  bool    `json:"bit_identical"`
 }
 
+// construction is one network-construction memory point: bytes allocated
+// building the same network with ring links vs event-queue links.
+type construction struct {
+	Name       string  `json:"name"`
+	H          int     `json:"balanced_h"`
+	RingBytes  int64   `json:"ring_build_bytes"`
+	EventBytes int64   `json:"event_build_bytes"`
+	Ratio      float64 `json:"ring_to_event_ratio"`
+}
+
 type output struct {
-	Generated string     `json:"generated"`
-	GoVersion string     `json:"go_version"`
-	NumCPU    int        `json:"num_cpu"`
-	Reps      int        `json:"reps_best_of"`
-	Scenarios []scenario `json:"scenarios"`
+	Generated    string         `json:"generated"`
+	GoVersion    string         `json:"go_version"`
+	NumCPU       int            `json:"num_cpu"`
+	Reps         int            `json:"reps_best_of"`
+	Scenarios    []scenario     `json:"scenarios"`
+	Construction []construction `json:"construction,omitempty"`
 }
 
 func engineCfg(h int, load float64, workers int, cycles int64) sim.Config {
@@ -95,6 +110,46 @@ func measure(cfg sim.Config, reps int, fn func(*sim.Network, *sim.Config) error)
 		res = sim.NewResultFrom(net, &cfg, wall)
 	}
 	return best, steps, res, nil
+}
+
+// buildBytes measures the heap bytes allocated by one NewNetwork call.
+// TotalAlloc deltas are near-deterministic (they count allocation sizes,
+// not runtime timings), which is what lets the baseline gate them.
+func buildBytes(cfg sim.Config) (int64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	net, err := sim.NewNetwork(&cfg, nil)
+	if err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&m1)
+	runtime.KeepAlive(net)
+	return int64(m1.TotalAlloc - m0.TotalAlloc), nil
+}
+
+// measureConstruction prices network construction with ring vs event
+// links. The event build must be strictly smaller — that is the memory
+// win of the event-driven link layer, asserted here so a regression fails
+// the harness even without a baseline file.
+func measureConstruction(name string, h int) (construction, error) {
+	c := construction{Name: name, H: h}
+	cfg := engineCfg(h, 0.1, 1, 100)
+	ring := cfg
+	ring.RingLinks = true
+	var err error
+	if c.RingBytes, err = buildBytes(ring); err != nil {
+		return c, err
+	}
+	if c.EventBytes, err = buildBytes(cfg); err != nil {
+		return c, err
+	}
+	c.Ratio = float64(c.RingBytes) / float64(c.EventBytes)
+	if c.EventBytes >= c.RingBytes {
+		return c, fmt.Errorf("%s: event-link build (%d B) not smaller than ring build (%d B)",
+			name, c.EventBytes, c.RingBytes)
+	}
+	return c, nil
 }
 
 func identical(a, b *sim.Result) bool {
@@ -141,7 +196,13 @@ func main() {
 		cfg := engineCfg(p.H, p.Load, p.Workers, p.Cycles)
 		p.Mech, p.Pattern = cfg.Mechanism, cfg.Pattern
 
-		refWall, refSteps, refRes, err := measure(cfg, *reps, sim.RunNetworkReference)
+		// The reference runs the seed configuration end to end: dense
+		// engine on ring links. The scheduler runs on event links, so the
+		// bit-identity check below also proves the two link layers
+		// equivalent.
+		refCfg := cfg
+		refCfg.RingLinks = true
+		refWall, refSteps, refRes, err := measure(refCfg, *reps, sim.RunNetworkReference)
 		if err != nil {
 			fatal(err)
 		}
@@ -164,6 +225,19 @@ func main() {
 		}
 	}
 
+	for _, c := range []struct {
+		name string
+		h    int
+	}{{"construction/h4", 4}, {"construction/h6", 6}} {
+		point, err := measureConstruction(c.name, c.h)
+		if err != nil {
+			fatal(err)
+		}
+		result.Construction = append(result.Construction, point)
+		fmt.Printf("%-30s ring %8.2fMB  event %8.2fMB  ratio %.2fx\n",
+			point.Name, float64(point.RingBytes)/1e6, float64(point.EventBytes)/1e6, point.Ratio)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -177,7 +251,7 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 
 	if *baseline != "" {
-		if err := compareBaseline(*baseline, result.Scenarios, *maxRegress); err != nil {
+		if err := compareBaseline(*baseline, result, *maxRegress); err != nil {
 			fatal(err)
 		}
 	}
@@ -193,7 +267,10 @@ func main() {
 // multi-worker timings swing far more than maxRegress run-to-run, and
 // their correctness is covered by the bit-identity check regardless.
 // Scenarios missing from the baseline (newly added points) are skipped.
-func compareBaseline(path string, scenarios []scenario, maxRegress float64) error {
+// Construction memory is gated per scenario, not as a mean: allocation
+// sizes are near-deterministic, so any event-link build exceeding its
+// baseline by more than maxRegress is a real memory regression.
+func compareBaseline(path string, fresh output, maxRegress float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -207,7 +284,7 @@ func compareBaseline(path string, scenarios []scenario, maxRegress float64) erro
 		byName[s.Name] = s
 	}
 	logRatioSum, gated := 0.0, 0
-	for _, s := range scenarios {
+	for _, s := range fresh.Scenarios {
 		b, ok := byName[s.Name]
 		if !ok {
 			fmt.Printf("baseline: %-30s not in %s, skipped\n", s.Name, path)
@@ -233,6 +310,27 @@ func compareBaseline(path string, scenarios []scenario, maxRegress float64) erro
 	fmt.Printf("baseline: geometric-mean sequential speedup ratio %.2f (floor %.2f)\n", geomean, 1-maxRegress)
 	if geomean < 1-maxRegress {
 		return fmt.Errorf("sequential speedup geomean %.2f regressed >%.0f%% vs %s", geomean, maxRegress*100, path)
+	}
+
+	// Memory gate: the event-link construction footprint may not creep
+	// back up. Baselines predating the construction section gate nothing.
+	baseCons := make(map[string]construction, len(base.Construction))
+	for _, c := range base.Construction {
+		baseCons[c.Name] = c
+	}
+	for _, c := range fresh.Construction {
+		b, ok := baseCons[c.Name]
+		if !ok || b.EventBytes == 0 {
+			fmt.Printf("baseline: %-30s no construction baseline in %s, skipped\n", c.Name, path)
+			continue
+		}
+		ratio := float64(c.EventBytes) / float64(b.EventBytes)
+		fmt.Printf("baseline: %-30s event build %.2fMB vs %.2fMB (ratio %.2f)\n",
+			c.Name, float64(c.EventBytes)/1e6, float64(b.EventBytes)/1e6, ratio)
+		if ratio > 1+maxRegress {
+			return fmt.Errorf("%s: event-link build bytes grew >%.0f%% vs %s (%d vs %d B)",
+				c.Name, maxRegress*100, path, c.EventBytes, b.EventBytes)
+		}
 	}
 	return nil
 }

@@ -57,6 +57,10 @@ func main() {
 	var jobs jobFlags
 	fs.Var(&jobs, "job", "add one job (repeatable): name=a,nodes=72,alloc=spread,pattern=UN,...")
 	interf := fs.Bool("interference", false, "also run every job solo and report mixed/solo latency ratios")
+	matrix := fs.Bool("interference-matrix", false,
+		"also run the N×N solo-vs-paired interference matrix (N+N·(N-1)/2 extra runs on a worker pool)")
+	interfJobs := fs.Int("interference-jobs", 0,
+		"concurrent interference simulations — solo baselines and matrix pairs (0 = NumCPU)")
 	group := fs.Int("group", 0, "group whose per-router injections to print")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -89,17 +93,31 @@ func main() {
 		fatal(err)
 	}
 
+	// Both interference metrics divide by the same solo baselines, so the
+	// N solo runs are paid once even when both flags are set.
 	var ratios []float64
-	if *interf {
-		if ratios, err = dragonfly.JobInterference(cfg, wl, res); err != nil {
+	var interfMatrix [][]float64
+	if *interf || *matrix {
+		solo, err := dragonfly.JobSoloLatencies(cfg, wl, *interfJobs)
+		if err != nil {
 			fatal(err)
+		}
+		if *interf {
+			ratios = dragonfly.JobInterferenceFromSolo(res, solo)
+		}
+		if *matrix {
+			if interfMatrix, err = dragonfly.JobInterferenceMatrixFromSolo(cfg, wl, solo, *interfJobs); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report.NewWorkloadJSON(res, ratios)); err != nil {
+		js := report.NewWorkloadJSON(res, ratios)
+		js.InterferenceMatrix = interfMatrix
+		if err := enc.Encode(js); err != nil {
 			fatal(err)
 		}
 		return
@@ -115,6 +133,10 @@ func main() {
 	fmt.Printf("latency:    %.1f cycles avg, %d p99\n", res.AvgLatency(), res.LatencyQuantile(0.99))
 	fmt.Printf("fairness:   %s\n\n", report.FairnessSummary(res.Fairness()))
 	fmt.Print(report.JobTable(res, ratios).String())
+	if interfMatrix != nil {
+		fmt.Printf("\ninterference matrix (paired latency / solo latency):\n")
+		fmt.Print(report.InterferenceMatrixTable(res.JobNames, interfMatrix).String())
+	}
 	fmt.Printf("\ngroup %d injections: %v\n", *group, res.GroupInjections(*group))
 }
 

@@ -35,6 +35,7 @@ import (
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
+	"dragonfly/internal/sweep"
 	"dragonfly/internal/topology"
 	"dragonfly/internal/workload"
 )
@@ -123,25 +124,119 @@ func RunWorkload(cfg Config, spec WorkloadSpec) (*Result, error) {
 	return RunCompiledWorkload(cfg, wl)
 }
 
+// JobSoloLatencies runs every job of the compiled workload alone — exact
+// placement and job index preserved (Workload.Solo) — on the sweep worker
+// pool (workers ≤ 0: NumCPU) and returns each job's solo average latency:
+// the baseline both interference metrics divide by. Callers combining
+// several metrics should compute it once and reuse it.
+func JobSoloLatencies(cfg Config, wl *workload.Workload, workers int) ([]float64, error) {
+	n := wl.NumJobs()
+	solo := make([]float64, n)
+	errs := make([]error, n)
+	sweep.RunTasks(n, workers, func(j int) {
+		res, err := sim.RunWithPattern(cfg, wl.Solo(j))
+		if err != nil {
+			errs[j] = err
+			return
+		}
+		solo[j] = res.JobAvgLatency(j)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return solo, nil
+}
+
+// JobInterferenceFromSolo derives the per-job interference ratios from an
+// already-run full-workload result and precomputed solo latencies: entry j
+// is job j's average latency in the full mix divided by its solo latency
+// (1 = no interference; 0 when the job delivered nothing in either run).
+func JobInterferenceFromSolo(full *Result, solo []float64) []float64 {
+	out := make([]float64, len(solo))
+	for j := range out {
+		if mixed := full.JobAvgLatency(j); mixed > 0 && solo[j] > 0 {
+			out[j] = mixed / solo[j]
+		}
+	}
+	return out
+}
+
 // JobInterference quantifies inter-job interference: every job of the
 // compiled workload is re-run alone with its exact placement, and the
 // returned slice holds, per job, the ratio of its average latency in the
 // full workload to its solo-run latency (1 = no interference; 0 when a job
 // delivered nothing in either run). full must be the result of running wl
-// under the same cfg.
+// under the same cfg. Solo runs execute one at a time, as this API always
+// did — a concurrent pool would hold several full Network instances (each
+// with cfg.Workers engine goroutines) resident at once; callers that want
+// that trade explicitly use JobSoloLatencies + JobInterferenceFromSolo.
 func JobInterference(cfg Config, wl *workload.Workload, full *Result) ([]float64, error) {
-	out := make([]float64, wl.NumJobs())
-	for j := range out {
-		solo, err := sim.RunWithPattern(cfg, wl.Solo(j))
+	solo, err := JobSoloLatencies(cfg, wl, 1)
+	if err != nil {
+		return nil, err
+	}
+	return JobInterferenceFromSolo(full, solo), nil
+}
+
+// JobInterferenceMatrixFromSolo computes the N×N solo-vs-paired matrix
+// from precomputed solo latencies (see JobSoloLatencies), running only the
+// N·(N-1)/2 paired simulations on the sweep worker pool — the entry point
+// for callers that already paid for the solo baselines.
+func JobInterferenceMatrixFromSolo(cfg Config, wl *workload.Workload, solo []float64, workers int) ([][]float64, error) {
+	n := wl.NumJobs()
+	type task struct{ i, j int }
+	tasks := make([]task, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			tasks = append(tasks, task{i: i, j: j})
+		}
+	}
+	results := make([]*Result, len(tasks))
+	errs := make([]error, len(tasks))
+	sweep.RunTasks(len(tasks), workers, func(k int) {
+		results[k], errs[k] = sim.RunWithPattern(cfg, wl.Subset(tasks[k].i, tasks[k].j))
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		mixed, alone := full.JobAvgLatency(j), solo.JobAvgLatency(j)
-		if mixed > 0 && alone > 0 {
-			out[j] = mixed / alone
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		if solo[i] > 0 {
+			m[i][i] = 1
 		}
 	}
-	return out, nil
+	for k, t := range tasks {
+		// One paired run prices both directions: i as victim of j, and
+		// j as victim of i.
+		if lat := results[k].JobAvgLatency(t.i); lat > 0 && solo[t.i] > 0 {
+			m[t.i][t.j] = lat / solo[t.i]
+		}
+		if lat := results[k].JobAvgLatency(t.j); lat > 0 && solo[t.j] > 0 {
+			m[t.j][t.i] = lat / solo[t.j]
+		}
+	}
+	return m, nil
+}
+
+// JobInterferenceMatrix quantifies pairwise inter-job interference as the
+// N×N solo-vs-paired matrix: entry [i][j] (i ≠ j) is job i's average
+// latency when i and j run paired — alone together on the machine, with
+// their exact workload placements — divided by job i's solo latency, so
+// row i reads "how much each other job hurts i" and column j reads "whom j
+// hurts". Diagonal entries are 1 by definition (0 when the job delivered
+// nothing solo). The N solo and N·(N-1)/2 paired simulations run on the
+// sweep worker pool (workers ≤ 0: NumCPU).
+func JobInterferenceMatrix(cfg Config, wl *workload.Workload, workers int) ([][]float64, error) {
+	solo, err := JobSoloLatencies(cfg, wl, workers)
+	if err != nil {
+		return nil, err
+	}
+	return JobInterferenceMatrixFromSolo(cfg, wl, solo, workers)
 }
 
 // RunWithAppTraffic runs a simulation whose traffic is uniform inside an

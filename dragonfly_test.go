@@ -121,6 +121,59 @@ func TestRunWorkloadPublicAPI(t *testing.T) {
 	}
 }
 
+// The N×N solo-vs-paired matrix: for a three-job workload the diagonal is
+// 1 by definition, every off-diagonal entry is a positive ratio, and two
+// jobs placed on top of each other interfere more than with a distant
+// third — and the matrix is deterministic regardless of pool width.
+func TestJobInterferenceMatrix(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 1000
+	spec := WorkloadSpec{Jobs: []WorkloadJob{
+		{Name: "a", Nodes: 16, Alloc: "consecutive"},
+		{Name: "b", Nodes: 16, Alloc: "spread", FirstGroup: 4},
+		{Name: "c", Nodes: 16, Alloc: "spread", FirstGroup: 6},
+	}}
+	wl, err := CompileWorkload(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := JobInterferenceMatrix(cfg, wl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("matrix has %d rows", len(m))
+	}
+	for i := range m {
+		if len(m[i]) != 3 {
+			t.Fatalf("row %d has %d columns", i, len(m[i]))
+		}
+		if m[i][i] != 1 {
+			t.Errorf("diagonal [%d][%d] = %v, want 1", i, i, m[i][i])
+		}
+		for j := range m[i] {
+			if i != j && m[i][j] <= 0 {
+				t.Errorf("entry [%d][%d] = %v, want positive ratio", i, j, m[i][j])
+			}
+		}
+	}
+	serial, err := JobInterferenceMatrix(cfg, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != serial[i][j] {
+				t.Fatalf("matrix not deterministic across pool widths at [%d][%d]: %v vs %v",
+					i, j, m[i][j], serial[i][j])
+			}
+		}
+	}
+}
+
 func TestRunWithAppTraffic(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Mechanism = "In-Trns-MM"

@@ -64,6 +64,37 @@ func ZeroLoadLatency(local, global int, pipeline, crossbar, serial, localLat, gl
 		int64(local)*int64(localLat) + int64(global)*int64(globalLat)
 }
 
+// MeanZeroLoadLatency returns the exact expected zero-load latency, in
+// cycles, of minimal paths under uniform traffic over distinct nodes, with
+// per-link propagation latencies priced by the latency model. It
+// enumerates router pairs (minimal paths and link latencies depend only on
+// the routers, and every router hosts p nodes), so it is O(routers²) —
+// exact where the ZeroLoadLatency/MeanMinimalHops pair can only price
+// uniform class latencies. The reference line for heterogeneous-latency
+// simulations.
+func MeanZeroLoadLatency(t *topology.Topology, m topology.LatencyModel, pipeline, crossbar, serial int) float64 {
+	perRouter := float64(pipeline + crossbar + serial)
+	pp := float64(t.Params().P)
+	var sum, pairs float64
+	for rs := 0; rs < t.NumRouters(); rs++ {
+		for rd := 0; rd < t.NumRouters(); rd++ {
+			var w float64
+			var hops int
+			if rs == rd {
+				w = pp * (pp - 1) // distinct nodes on one router: 0 hops
+			} else {
+				w = pp * pp
+				pl := t.MinimalPathLength(rs*t.Params().P, rd*t.Params().P)
+				hops = pl.Hops()
+				sum += w * float64(topology.MinimalPathLinkLatency(t, m, rs, rd))
+			}
+			sum += w * float64(hops+1) * perRouter
+			pairs += w
+		}
+	}
+	return sum / pairs
+}
+
 // MeanMinimalHops returns the expected (local, global) hop counts of
 // minimal paths under uniform traffic over distinct nodes.
 func MeanMinimalHops(p topology.Params) (local, global float64) {

@@ -37,6 +37,34 @@ func TestUnbalancedBounds(t *testing.T) {
 	}
 }
 
+// With a uniform model, the exact router-pair enumeration must agree with
+// the closed-form mean-hop pricing.
+func TestMeanZeroLoadLatencyMatchesUniformClosedForm(t *testing.T) {
+	for _, h := range []int{2, 3} {
+		p := topology.Balanced(h)
+		topo := topology.New(p)
+		m := topology.UniformLatency{Local: 10, Global: 100}
+		got := MeanZeroLoadLatency(topo, m, 5, 4, 8)
+		local, global := MeanMinimalHops(p)
+		perRouter := float64(5 + 4 + 8)
+		want := (local+global+1)*perRouter + local*10 + global*100
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("h=%d: enumerated %.6f, closed form %.6f", h, got, want)
+		}
+	}
+}
+
+// Group-skew pricing must exceed uniform pricing with the same base
+// (every non-adjacent cable got longer, none got shorter).
+func TestMeanZeroLoadLatencyGroupSkewAboveUniform(t *testing.T) {
+	topo := topology.New(topology.Balanced(2))
+	uni := MeanZeroLoadLatency(topo, topology.UniformLatency{Local: 10, Global: 100}, 5, 4, 8)
+	skew := MeanZeroLoadLatency(topo, topology.GroupSkewLatency{Local: 10, GlobalBase: 100, GlobalStep: 10}, 5, 4, 8)
+	if skew <= uni {
+		t.Errorf("groupskew mean %.2f not above uniform %.2f", skew, uni)
+	}
+}
+
 func TestZeroLoadLatency(t *testing.T) {
 	// The Table I parameters: pipeline 5, crossbar 4, serial 8,
 	// links 10/100.

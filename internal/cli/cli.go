@@ -32,6 +32,11 @@ func CommonFlags(fs *flag.FlagSet) func() (sim.Config, error) {
 		queue    = fs.Int("inj-queue", 256, "injection source queue depth in packets")
 		thresh   = fs.Float64("threshold", 0.43, "in-transit congestion threshold (fraction)")
 		olm      = fs.Bool("olm", true, "enable opportunistic (OLM-style) local misrouting")
+		localLat = fs.Int("local-lat", 10, "local link latency in cycles (Table I: 10)")
+		globLat  = fs.Int("global-lat", 100, "global link latency in cycles (Table I: 100)")
+		latModel = fs.String("latency-model", "uniform",
+			"per-link latency model preset: "+strings.Join(topology.KnownLatencyModels(), ", ")+
+				" (groupskew grows global latency with group distance)")
 	)
 	return func() (sim.Config, error) {
 		cfg := sim.DefaultConfig()
@@ -70,6 +75,18 @@ func CommonFlags(fs *flag.FlagSet) func() (sim.Config, error) {
 		cfg.Router.CongestionThreshold = *thresh
 		cfg.Routing.CongestionThreshold = *thresh
 		cfg.Routing.LocalMisroute = *olm
+		// Link latencies are runtime parameters: validated here, at flag
+		// time, like mechanism and pattern names.
+		if *localLat <= 0 || *globLat <= 0 {
+			return cfg, fmt.Errorf("link latencies must be positive (got -local-lat %d, -global-lat %d)", *localLat, *globLat)
+		}
+		cfg.Router.LocalLatency = *localLat
+		cfg.Router.GlobalLatency = *globLat
+		model, err := topology.LatencyModelByName(*latModel, *localLat, *globLat)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.LatencyModel = model
 		return cfg, nil
 	}
 }

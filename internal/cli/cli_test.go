@@ -161,6 +161,70 @@ func TestValidateNamesRejectsTyposWithKnownList(t *testing.T) {
 	}
 }
 
+func TestCommonFlagsLatency(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := CommonFlags(fs)
+	if err := fs.Parse([]string{"-local-lat", "7", "-global-lat", "210", "-latency-model", "groupskew"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Router.LocalLatency != 7 || cfg.Router.GlobalLatency != 210 {
+		t.Errorf("latency flags ignored: %d/%d", cfg.Router.LocalLatency, cfg.Router.GlobalLatency)
+	}
+	m, ok := cfg.LatencyModel.(topology.GroupSkewLatency)
+	if !ok {
+		t.Fatalf("latency model %#v, want groupskew", cfg.LatencyModel)
+	}
+	if m.Local != 7 || m.GlobalBase != 210 {
+		t.Errorf("groupskew not built from the latency flags: %+v", m)
+	}
+}
+
+func TestCommonFlagsLatencyDefaultsUniform(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := CommonFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := cfg.LatencyModel.(topology.UniformLatency); !ok || m.Local != 10 || m.Global != 100 {
+		t.Errorf("default latency model %#v, want uniform Table I", cfg.LatencyModel)
+	}
+}
+
+// Latency mistakes are rejected at flag time, like mechanism and pattern
+// typos, with the known model names listed.
+func TestCommonFlagsLatencyErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-local-lat", "0"},
+		{"-global-lat", "-5"},
+		{"-latency-model", "spiral"},
+	} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		build := CommonFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := build(); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := CommonFlags(fs)
+	if err := fs.Parse([]string{"-latency-model", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build(); err == nil || !strings.Contains(err.Error(), "groupskew") {
+		t.Errorf("latency model error does not list known models: %v", err)
+	}
+}
+
 func TestCommonFlagsBadArrangement(t *testing.T) {
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	build := CommonFlags(fs)

@@ -77,6 +77,15 @@ type Packet struct {
 	// Minimal-path shape, captured at creation for the latency breakdown.
 	MinLocal  int
 	MinGlobal int
+	// MinLinkLat is the summed propagation latency of the links on the
+	// unique minimal path, captured at creation. With uniform link
+	// latencies it equals MinLocal*local + MinGlobal*global; with a
+	// heterogeneous latency model it prices the actual cables.
+	MinLinkLat int64
+	// LinkLat accumulates the propagation latency of every link the packet
+	// actually traverses, so the misroute component of the latency
+	// breakdown charges real per-hop costs rather than class constants.
+	LinkLat int64
 
 	// Accumulated queueing delays, split the way Figure 3 splits them.
 	WaitInj    int64 // waiting in the injection queue

@@ -32,6 +32,10 @@ type ResultJSON struct {
 	WallSeconds    float64   `json:"wall_seconds"`
 	// Jobs is present for multi-job workload runs only.
 	Jobs []JobJSON `json:"jobs,omitempty"`
+	// InterferenceMatrix is the N×N solo-vs-paired latency-ratio matrix
+	// (dfworkload -interference-matrix); row = victim, column = paired
+	// job. Present only when the matrix was computed.
+	InterferenceMatrix [][]float64 `json:"interference_matrix,omitempty"`
 }
 
 // JobJSON is the machine-readable per-job record of a workload run.
@@ -44,6 +48,8 @@ type JobJSON struct {
 	Delivered    int64    `json:"delivered_packets"`
 	Throughput   float64  `json:"accepted_load_per_node"`
 	AvgLatency   float64  `json:"avg_latency_cycles"`
+	P50Latency   int64    `json:"p50_latency_cycles"`
+	P99Latency   int64    `json:"p99_latency_cycles"`
 	MaxLatency   int64    `json:"max_latency_cycles"`
 	Fairness     fairness `json:"fairness"`
 	Interference float64  `json:"interference,omitempty"`
@@ -122,6 +128,8 @@ func newJobsJSON(res *sim.Result, interference []float64) []JobJSON {
 			Delivered:  jt.Delivered,
 			Throughput: res.JobThroughput(j),
 			AvgLatency: res.JobAvgLatency(j),
+			P50Latency: jt.Latencies.Quantile(0.50),
+			P99Latency: jt.Latencies.Quantile(0.99),
 			MaxLatency: jt.MaxLatency,
 			Fairness:   newFairnessJSON(res.JobFairness(j)),
 		}

@@ -163,6 +163,28 @@ func BreakdownTable(series []sweep.Series) *Table {
 	return t
 }
 
+// InterferenceMatrixTable renders the N×N solo-vs-paired interference
+// matrix: row i, column j is job i's paired-with-j latency over its solo
+// latency (1.00 = j does not hurt i; blank = no data, e.g. a job that
+// delivered nothing solo).
+func InterferenceMatrixTable(names []string, m [][]float64) *Table {
+	header := []string{"Victim\\With"}
+	header = append(header, names...)
+	t := NewTable(header...)
+	for i, row := range m {
+		cells := []string{names[i]}
+		for _, v := range row {
+			if v == 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.2f", v))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
 // FairnessSummary formats a one-line fairness summary.
 func FairnessSummary(f stats.Fairness) string {
 	return fmt.Sprintf("min inj %.2f, max/min %.3f, CoV %.4f, Jain %.4f",
@@ -175,7 +197,7 @@ func FairnessSummary(f stats.Fairness) string {
 // mixed-vs-solo latency ratio column (1.00 = no inter-job interference),
 // leaving cells blank for jobs beyond its length.
 func JobTable(res *sim.Result, interference []float64) *Table {
-	header := []string{"Job", "Nodes", "Generated", "Injected", "Delivered", "Thr/node", "AvgLat", "MaxLat", "CoV"}
+	header := []string{"Job", "Nodes", "Generated", "Injected", "Delivered", "Thr/node", "AvgLat", "P50", "P99", "MaxLat", "CoV"}
 	if interference != nil {
 		header = append(header, "Interf")
 	}
@@ -190,6 +212,8 @@ func JobTable(res *sim.Result, interference []float64) *Table {
 			fmt.Sprintf("%d", jt.Delivered),
 			fmt.Sprintf("%.4f", res.JobThroughput(j)),
 			fmt.Sprintf("%.1f", res.JobAvgLatency(j)),
+			fmt.Sprintf("%d", jt.Latencies.Quantile(0.50)),
+			fmt.Sprintf("%d", jt.Latencies.Quantile(0.99)),
 			fmt.Sprintf("%d", jt.MaxLatency),
 			fmt.Sprintf("%.4f", res.JobFairness(j).CoV),
 		}

@@ -9,22 +9,63 @@ import (
 
 // Link is a unidirectional channel between an output port and the input
 // port of a neighbouring router, together with the reverse credit channel.
+// Two implementations exist:
 //
-// Both channels are time-indexed ring buffers: the sender writes events at
-// future cycles, the receiver consumes the slot of the current cycle. The
-// serialisation and latency constants guarantee at most one event per cycle
-// per channel, and sender and receiver always touch slots at least one cycle
-// apart, so a Link may be shared by two routers stepped concurrently without
-// locks.
+//   - RingLink, the seed's time-indexed ring buffers, kept as the executable
+//     specification behind the RunNetworkReference path;
+//   - EventLink, compact event queues sized by the actual in-flight event
+//     capacity instead of the latency window — the default, and the form
+//     that makes latency a cheap per-link runtime parameter.
+//
+// Both obey the same contract. The serialisation and latency rules
+// guarantee at most one event per cycle per channel and strictly
+// increasing arrival cycles per channel, and sender and receiver always
+// touch state at least one cycle apart, so a Link may be shared by two
+// routers stepped concurrently without locks. Every event MUST be popped
+// at exactly the cycle it was scheduled for — a receiver that sleeps
+// through an arrival corrupts the channel (both implementations panic
+// loudly). The active-router scheduler upholds this by waking the
+// receiving router at every PushPacket/PushCredit arrival cycle (see
+// Router.SetEventSink); engines that step every router every cycle satisfy
+// it trivially.
+type Link interface {
+	// Latency returns the propagation latency in cycles.
+	Latency() int
+	// PushPacket schedules p to arrive at cycle at. Pushes on one link
+	// must use strictly increasing arrival cycles — automatic for a
+	// serializing sender. Implementations panic when the invariant is
+	// violated.
+	PushPacket(at int64, p *packet.Packet)
+	// PopPacket returns the packet arriving at cycle at, or nil.
+	PopPacket(at int64) *packet.Packet
+	// PushCredit schedules a credit of phits for vc to arrive upstream at
+	// cycle at. Like PushPacket, arrival cycles must be strictly
+	// increasing per link.
+	PushCredit(at int64, vc, phits int)
+	// PopCredit returns the credit arriving at cycle at, or (0,0).
+	PopCredit(at int64) (vc, phits int)
+	// EarliestPacket returns the arrival cycle of the earliest packet in
+	// flight, or -1. Only valid between cycles (see the scheduler
+	// contract).
+	EarliestPacket() int64
+	// EarliestCredit returns the arrival cycle of the earliest credit in
+	// flight, or -1. Only valid between cycles.
+	EarliestCredit() int64
+	// InFlight counts packets currently travelling on the link. Intended
+	// for conservation checks in tests.
+	InFlight() int
+}
+
+// RingLink is the seed's Link implementation: both channels are
+// time-indexed ring buffers sized by latency+horizon. The sender writes
+// events at future cycles, the receiver consumes the slot of the current
+// cycle.
 //
 // Slots are addressed modulo the ring size, so every event MUST be popped
 // at exactly the cycle it was scheduled for — a receiver that sleeps
 // through an arrival would later read a stale slot or make the sender panic
-// on a slot collision. The active-router scheduler upholds this by waking
-// the receiving router at every PushPacket/PushCredit arrival cycle (see
-// Router.SetEventSink); engines that step every router every cycle satisfy
-// it trivially.
-type Link struct {
+// on a slot collision.
+type RingLink struct {
 	latency int
 	mask    int64 // ring size - 1 (power of two, so slot = cycle & mask)
 
@@ -51,9 +92,9 @@ type creditEvent struct {
 	vc    int32
 }
 
-// NewLink builds a link with the given propagation latency. horizon must be
-// at least the packet serialisation time.
-func NewLink(latency, horizon int) *Link {
+// NewLink builds a ring link with the given propagation latency. horizon
+// must be at least the packet serialisation time.
+func NewLink(latency, horizon int) *RingLink {
 	if latency <= 0 {
 		panic("router: link latency must be positive")
 	}
@@ -61,7 +102,7 @@ func NewLink(latency, horizon int) *Link {
 	for size < latency+horizon+2 {
 		size <<= 1 // power of two: slot indexing by mask, not division
 	}
-	return &Link{
+	return &RingLink{
 		latency: latency,
 		mask:    int64(size - 1),
 		pkts:    make([]*packet.Packet, size),
@@ -71,15 +112,13 @@ func NewLink(latency, horizon int) *Link {
 	}
 }
 
-// Latency returns the propagation latency in cycles.
-func (l *Link) Latency() int { return l.latency }
+// Latency implements Link.
+func (l *RingLink) Latency() int { return l.latency }
 
-// PushPacket schedules p to arrive at cycle at. Pushes on one link must
-// use strictly increasing arrival cycles — automatic for a serializing
-// sender, and what keeps the pending queue sorted. It panics if the slot
-// is occupied or time order is violated: either would mean the sender
-// broke the serialisation rule.
-func (l *Link) PushPacket(at int64, p *packet.Packet) {
+// PushPacket implements Link. It panics if the slot is occupied or time
+// order is violated: either would mean the sender broke the serialisation
+// rule.
+func (l *RingLink) PushPacket(at int64, p *packet.Packet) {
 	idx := at & l.mask
 	if l.pkts[idx] != nil {
 		panic(fmt.Sprintf("router: packet slot collision at cycle %d", at))
@@ -93,10 +132,10 @@ func (l *Link) PushPacket(at int64, p *packet.Packet) {
 	l.pktTail.Store(tail + 1)
 }
 
-// PopPacket returns the packet arriving at cycle at, or nil. An idle link
-// answers from the header alone (the pending count shares the mask's cache
-// line), without touching the slot ring.
-func (l *Link) PopPacket(at int64) *packet.Packet {
+// PopPacket implements Link. An idle link answers from the header alone
+// (the pending count shares the mask's cache line), without touching the
+// slot ring.
+func (l *RingLink) PopPacket(at int64) *packet.Packet {
 	head := l.pktHead.Load() // receiver-owned
 	if head == l.pktTail.Load() {
 		return nil
@@ -111,12 +150,8 @@ func (l *Link) PopPacket(at int64) *packet.Packet {
 	return p
 }
 
-// EarliestPacket returns the arrival cycle of the earliest packet in
-// flight, or -1. Only valid between cycles (see the scheduler contract).
-// The engines track pending events through the router due-queues instead;
-// this accessor exists for diagnostics and the planned event-driven link
-// slots (ROADMAP).
-func (l *Link) EarliestPacket() int64 {
+// EarliestPacket implements Link.
+func (l *RingLink) EarliestPacket() int64 {
 	head := l.pktHead.Load()
 	if head == l.pktTail.Load() {
 		return -1
@@ -124,10 +159,9 @@ func (l *Link) EarliestPacket() int64 {
 	return l.pktT[head&l.mask]
 }
 
-// PushCredit schedules a credit of phits for vc to arrive upstream at cycle
-// at. Like PushPacket, arrival cycles must be strictly increasing per
-// link. It panics on slot collision or time-order violation.
-func (l *Link) PushCredit(at int64, vc, phits int) {
+// PushCredit implements Link. It panics on slot collision or time-order
+// violation.
+func (l *RingLink) PushCredit(at int64, vc, phits int) {
 	idx := at & l.mask
 	if l.credits[idx].phits != 0 {
 		panic(fmt.Sprintf("router: credit slot collision at cycle %d", at))
@@ -141,9 +175,9 @@ func (l *Link) PushCredit(at int64, vc, phits int) {
 	l.crdTail.Store(tail + 1)
 }
 
-// PopCredit returns the credit arriving at cycle at, or (0,0). Like
-// PopPacket, an idle link answers from the header alone.
-func (l *Link) PopCredit(at int64) (vc, phits int) {
+// PopCredit implements Link. Like PopPacket, an idle link answers from the
+// header alone.
+func (l *RingLink) PopCredit(at int64) (vc, phits int) {
 	head := l.crdHead.Load() // receiver-owned
 	if head == l.crdTail.Load() {
 		return 0, 0
@@ -158,10 +192,8 @@ func (l *Link) PopCredit(at int64) (vc, phits int) {
 	return int(ev.vc), int(ev.phits)
 }
 
-// EarliestCredit returns the arrival cycle of the earliest credit in
-// flight, or -1. Only valid between cycles (see the scheduler contract).
-// Like EarliestPacket, kept for diagnostics and future event-driven slots.
-func (l *Link) EarliestCredit() int64 {
+// EarliestCredit implements Link.
+func (l *RingLink) EarliestCredit() int64 {
 	head := l.crdHead.Load()
 	if head == l.crdTail.Load() {
 		return -1
@@ -169,9 +201,8 @@ func (l *Link) EarliestCredit() int64 {
 	return l.crdT[head&l.mask]
 }
 
-// InFlight counts packets currently travelling on the link. Intended for
-// conservation checks in tests; O(size).
-func (l *Link) InFlight() int {
+// InFlight implements Link; O(size).
+func (l *RingLink) InFlight() int {
 	n := 0
 	for _, p := range l.pkts {
 		if p != nil {

@@ -79,7 +79,7 @@ type inputPort struct {
 	qTotal    int // packets across all VC queues; 0 lets stages skip the port
 	class     topology.PortClass
 	vcs       []vcQueue
-	link      *Link // nil for injection ports
+	link      Link // nil for injection ports
 	pending   pendingTransfer
 }
 
@@ -113,9 +113,9 @@ type outputPort struct {
 	downCapVC   int   // downstream capacity per VC (0 for ejection)
 	thresholdVC int   // per-VC congestion threshold in phits
 
-	link *Link // nil for ejection ports
-	rr   int   // round-robin arbitration pointer (input port index)
-	rrVC int   // round-robin pointer of the link VC arbiter
+	link Link // nil for ejection ports
+	rr   int  // round-robin arbitration pointer (input port index)
+	rrVC int  // round-robin pointer of the link VC arbiter
 }
 
 // used estimates the phits queued at this output: local buffer plus
@@ -417,15 +417,15 @@ func (r *Router) jobOf(src int) *stats.Job {
 }
 
 // ConnectOut attaches the outgoing link of an output port.
-func (r *Router) ConnectOut(port int, l *Link) { r.ConnectOutTo(port, l, -1, -1) }
+func (r *Router) ConnectOut(port int, l Link) { r.ConnectOutTo(port, l, -1, -1) }
 
 // ConnectIn attaches the incoming link of an input port.
-func (r *Router) ConnectIn(port int, l *Link) { r.ConnectInFrom(port, l, -1, -1) }
+func (r *Router) ConnectIn(port int, l Link) { r.ConnectInFrom(port, l, -1, -1) }
 
 // ConnectOutTo attaches the outgoing link of an output port and records
 // which router — and which of its input ports — sits on the far side,
 // enabling arrival events (pass -1,-1 when no scheduler is used).
-func (r *Router) ConnectOutTo(port int, l *Link, peer, peerPort int) {
+func (r *Router) ConnectOutTo(port int, l Link, peer, peerPort int) {
 	r.outputs[port].link = l
 	r.peerOut[port] = peer
 	r.peerOutPort[port] = peerPort
@@ -434,7 +434,7 @@ func (r *Router) ConnectOutTo(port int, l *Link, peer, peerPort int) {
 // ConnectInFrom attaches the incoming link of an input port and records
 // which router — and which of its output ports — sits on the far side,
 // enabling credit events (pass -1,-1 when no scheduler is used).
-func (r *Router) ConnectInFrom(port int, l *Link, peer, peerPort int) {
+func (r *Router) ConnectInFrom(port int, l Link, peer, peerPort int) {
 	r.inputs[port].link = l
 	r.peerIn[port] = peer
 	r.peerInPort[port] = peerPort
@@ -477,6 +477,17 @@ func (r *Router) OutputCongested(port, vc int) bool {
 
 // LinkLoad implements routing.RouterView.
 func (r *Router) LinkLoad(port int) int { return r.outputs[port].used() }
+
+// OutputLinkLatency implements routing.RouterView: the propagation latency
+// of the link behind an output port (0 for ejection ports). With a
+// heterogeneous latency model this is how adaptive mechanisms see real
+// per-cable costs.
+func (r *Router) OutputLinkLatency(port int) int {
+	if l := r.outputs[port].link; l != nil {
+		return l.Latency()
+	}
+	return 0
+}
 
 // CanAbsorb implements routing.RouterView.
 func (r *Router) CanAbsorb(port, vc int) bool {
@@ -1024,6 +1035,7 @@ func (r *Router) linkStage(now int64) {
 		}
 		if o.link != nil {
 			at := now + serial + int64(o.link.Latency())
+			pkt.LinkLat += int64(o.link.Latency())
 			o.link.PushPacket(at, pkt)
 			if r.notify != nil && r.peerOut[p] >= 0 {
 				r.notify(LinkEvent{Router: r.peerOut[p], Port: r.peerOutPort[p], At: at})
@@ -1035,15 +1047,16 @@ func (r *Router) linkStage(now int64) {
 	}
 }
 
-// pathCost is the zero-load latency of a path with the given hop shape:
-// every router contributes pipeline+crossbar+serialisation, every link its
-// propagation latency.
-func (r *Router) pathCost(local, global int) int64 {
+// pathCost is the zero-load latency of a path with the given hop shape and
+// summed link propagation latency: every router contributes
+// pipeline+crossbar+serialisation, and linkLat prices the links actually
+// (or, for the minimal-path base cost, hypothetically) traversed. Link
+// latency is a per-link runtime parameter, so it arrives as a packet-carried
+// sum rather than being derived from class constants.
+func (r *Router) pathCost(local, global int, linkLat int64) int64 {
 	c := r.cfg
 	perRouter := int64(c.PipelineCycles + c.CrossbarCycles() + c.SerialCycles())
-	return int64(local+global+1)*perRouter +
-		int64(local)*int64(c.LocalLatency) +
-		int64(global)*int64(c.GlobalLatency)
+	return int64(local+global+1)*perRouter + linkLat
 }
 
 func (r *Router) deliver(at int64, pkt *packet.Packet) {
@@ -1065,11 +1078,12 @@ func (r *Router) deliver(at int64, pkt *packet.Packet) {
 			if lat > j.MaxLatency {
 				j.MaxLatency = lat
 			}
+			j.Latencies.Observe(lat)
 		}
 		s.Latencies.Observe(lat)
-		base := r.pathCost(pkt.MinLocal, pkt.MinGlobal)
+		base := r.pathCost(pkt.MinLocal, pkt.MinGlobal, pkt.MinLinkLat)
 		s.BaseSum += base
-		s.MisrouteSum += r.pathCost(pkt.LocalHops, pkt.GlobalHops) - base
+		s.MisrouteSum += r.pathCost(pkt.LocalHops, pkt.GlobalHops, pkt.LinkLat) - base
 		s.WaitInjSum += pkt.WaitInj
 		s.WaitLocalSum += pkt.WaitLocal
 		s.WaitGlobalSum += pkt.WaitGlobal

@@ -152,6 +152,90 @@ func TestInTransitMinimalWhenUncongested(t *testing.T) {
 	}
 }
 
+// The latency gate: with MisrouteLatencyFactor set, a congested minimal
+// port is not escaped onto cables longer than factor × the minimal link —
+// under heterogeneous latencies the only uncongested alternatives may all
+// be too expensive, and the packet must stay minimal.
+func TestInTransitLatencyGate(t *testing.T) {
+	topo := topology.New(topology.Balanced(2))
+	env := newEnv(topo)
+	env.Cfg.MisrouteLatencyFactor = 1.5
+	m := NewInTransit(CRG)
+	a := topo.Params().A
+	idx, minPort := topo.GlobalRouterFor(0, 1)
+	r := topo.RouterID(0, idx)
+	v := view(r)
+	v.congested[minPort] = true
+	// Every global cable of this router: minimal link 100 cycles, all
+	// alternatives 300 — beyond the 1.5× budget.
+	for gp := a - 1; gp < a-1+topo.Params().H; gp++ {
+		v.linkLat[gp] = 300
+	}
+	v.linkLat[minPort] = 100
+	dst := topo.NodeID(topo.RouterID(1, 0), 0)
+	p := mkPacket(topo.NodeID(r, 0), dst)
+	req := m.NextHop(env, v, p, topology.InjectionPort, rng.New(3))
+	if req.Port != minPort || req.Action.Kind != packet.ActionNone {
+		t.Fatalf("gate bypassed: diverted via port %d (action %v)", req.Port, req.Action.Kind)
+	}
+	// Cheap alternatives within the budget stay eligible.
+	for gp := a - 1; gp < a-1+topo.Params().H; gp++ {
+		v.linkLat[gp] = 120
+	}
+	v.linkLat[minPort] = 100
+	req = m.NextHop(env, v, p, topology.InjectionPort, rng.New(3))
+	if req.Port == minPort {
+		t.Fatal("within-budget alternative not taken")
+	}
+	// Factor 0 (the default) disables the gate entirely.
+	env.Cfg.MisrouteLatencyFactor = 0
+	for gp := a - 1; gp < a-1+topo.Params().H; gp++ {
+		v.linkLat[gp] = 10000
+	}
+	req = m.NextHop(env, v, p, topology.InjectionPort, rng.New(3))
+	if req.Port == minPort {
+		t.Fatal("disabled gate still filtered candidates")
+	}
+}
+
+// The gate compares same-class cables only: at a router whose minimal hop
+// is a *local* port (the exit router lives elsewhere in the group), global
+// candidates are not measured against the short local cable — with
+// uniform latencies and any factor ≥ 1 the gate must be a no-op, so CRG
+// still escapes congestion through its own globals.
+func TestInTransitLatencyGateClassConsistent(t *testing.T) {
+	topo := topology.New(topology.Balanced(2))
+	env := newEnv(topo)
+	env.Cfg.MisrouteLatencyFactor = 1
+	m := NewInTransit(CRG)
+	a := topo.Params().A
+	// Pick a source router that does NOT own the link towards the
+	// destination group: its minimal port is local.
+	dstGroup := 1
+	ownerIdx, _ := topo.GlobalRouterFor(0, dstGroup)
+	srcIdx := (ownerIdx + 1) % a
+	r := topo.RouterID(0, srcIdx)
+	v := view(r)
+	// Uniform latencies: locals 10, globals 100.
+	for port := 0; port < a-1; port++ {
+		v.linkLat[port] = 10
+	}
+	for gp := a - 1; gp < a-1+topo.Params().H; gp++ {
+		v.linkLat[gp] = 100
+	}
+	dst := topo.NodeID(topo.RouterID(dstGroup, 0), 0)
+	p := mkPacket(topo.NodeID(r, 0), dst)
+	minPort := minimalPort(env, r, p)
+	if topo.PortClass(minPort) != topology.LocalPort {
+		t.Fatal("test setup: minimal port should be local")
+	}
+	v.congested[minPort] = true
+	req := m.NextHop(env, v, p, topology.InjectionPort, rng.New(3))
+	if topo.PortClass(req.Port) != topology.GlobalPort {
+		t.Fatalf("uniform latencies + factor 1: CRG blocked from its own globals (took port %d)", req.Port)
+	}
+}
+
 // When the minimal port is congested at the source router, CRG diverts via
 // one of the router's own global ports.
 func TestInTransitCRGMisroutesOwnGlobals(t *testing.T) {

@@ -139,6 +139,19 @@ func (it *InTransit) globalCandidate(env *Env, rv RouterView, p *packet.Packet, 
 		if t.PortClass(port) == topology.LocalPort && p.LocalHops > 0 {
 			continue
 		}
+		// Latency gate (heterogeneous topologies): never trade a congested
+		// minimal link for a same-class cable whose extra flight time
+		// dwarfs it. Only cables of the minimal hop's own class are
+		// compared — the router can observe its local ports' latencies but
+		// not a remote router's, and a local-vs-global comparison would
+		// filter on class constants rather than cable length (with
+		// uniform latencies, same-class cables are equal, so any factor
+		// ≥ 1 is a no-op as documented).
+		if f := env.Cfg.MisrouteLatencyFactor; f > 0 &&
+			t.PortClass(port) == t.PortClass(minPort) &&
+			float64(rv.OutputLinkLatency(port)) > f*float64(rv.OutputLinkLatency(minPort)) {
+			continue
+		}
 		vc := segmentVC(env, r, port, p)
 		if rv.OutputCongested(port, vc) || !rv.CanAbsorb(port, vc) {
 			continue

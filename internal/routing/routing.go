@@ -87,6 +87,21 @@ type Config struct {
 	// MisrouteTries bounds how many nonminimal candidates an adaptive
 	// mechanism samples per decision before falling back to minimal.
 	MisrouteTries int
+	// MisrouteLatencyFactor, when positive, makes the in-transit
+	// mechanism latency-aware under heterogeneous link latencies: a
+	// nonminimal first hop of the same port class as the minimal hop is
+	// only eligible while its link latency is at most factor × the
+	// minimal hop's, so congestion is not escaped onto cables so long
+	// that the detour costs more than the queueing it avoids. The gate
+	// prices only cables the deciding router can observe (its own output
+	// links) and only like against like — the CRG/MM own-global case,
+	// exactly where group-skewed cable lengths differ. Diversions whose
+	// first hop is a local port (NRG, RRG via a neighbour) are not
+	// priced: the expensive cable sits at a remote router the deciding
+	// hardware cannot see. 0 disables the gate (the seed behaviour; with
+	// uniform latencies same-class cables are equal, so any factor ≥ 1
+	// is equivalent to disabled).
+	MisrouteLatencyFactor float64
 }
 
 // DefaultConfig returns the Table I routing parameters.
@@ -120,6 +135,12 @@ type RouterView interface {
 	// by the output buffer and the downstream virtual channel — the
 	// opportunistic condition for misrouting grants.
 	CanAbsorb(port, vc int) bool
+	// OutputLinkLatency returns the propagation latency in cycles of the
+	// link behind an output port (0 for ejection ports). Link latency is
+	// a per-link runtime parameter, so heterogeneous topologies expose
+	// real per-cable costs to adaptive decisions — hardware knows its own
+	// cable lengths.
+	OutputLinkLatency(port int) int
 }
 
 // GroupView exposes the group-shared global-link saturation bits that

@@ -14,6 +14,7 @@ type fakeView struct {
 	congested map[int]bool // per port (any VC)
 	noAbsorb  map[int]bool // per port
 	loads     map[int]int
+	linkLat   map[int]int // per port; 0 entries report latency 1
 }
 
 func (v *fakeView) RouterID() int { return v.id }
@@ -23,6 +24,12 @@ func (v *fakeView) OutputCongested(port, _ int) bool {
 func (v *fakeView) LinkLoad(port int) int { return v.loads[port] }
 func (v *fakeView) CanAbsorb(port, _ int) bool {
 	return !v.noAbsorb[port]
+}
+func (v *fakeView) OutputLinkLatency(port int) int {
+	if l, ok := v.linkLat[port]; ok {
+		return l
+	}
+	return 1
 }
 
 // fakeGroup marks a settable set of saturated global links.
@@ -38,7 +45,7 @@ func newEnv(t *topology.Topology) *Env {
 }
 
 func view(id int) *fakeView {
-	return &fakeView{id: id, congested: map[int]bool{}, noAbsorb: map[int]bool{}, loads: map[int]int{}}
+	return &fakeView{id: id, congested: map[int]bool{}, noAbsorb: map[int]bool{}, loads: map[int]int{}, linkLat: map[int]int{}}
 }
 
 func mkPacket(src, dst int) *packet.Packet {

@@ -198,7 +198,12 @@ func watchdog(net *Network, now, lastSeen int64) (int64, error) {
 	if latest > lastSeen {
 		return latest, nil
 	}
-	if net.InFlight() > 0 && now-latest > 2*watchdogInterval {
+	// The stall horizon is widened by the longest wired link: with
+	// per-link runtime latencies a healthy network may legitimately show
+	// no router activity for a full time of flight (every packet airborne
+	// on long cables), which the fixed 2-interval window of the seed
+	// would misread as a deadlock.
+	if net.InFlight() > 0 && now-latest > 2*watchdogInterval+net.maxLinkLat {
 		return latest, fmt.Errorf("sim: no progress since cycle %d (now %d) with packets in flight: routing deadlock", latest, now)
 	}
 	return lastSeen, nil

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dragonfly/internal/analytic"
+	"dragonfly/internal/topology"
+)
+
+// latencySettings are the latency configurations the link-layer refactor
+// is verified under: the Table I defaults, a non-default uniform pair, and
+// the heterogeneous group-skew preset.
+func latencySettings() []struct {
+	name          string
+	local, global int
+	model         string
+} {
+	return []struct {
+		name          string
+		local, global int
+		model         string
+	}{
+		{"default", 10, 100, "uniform"},
+		{"nondefault", 3, 17, "uniform"},
+		{"groupskew", 10, 100, "groupskew"},
+	}
+}
+
+func applyLatency(t *testing.T, cfg *Config, local, global int, model string) {
+	t.Helper()
+	cfg.Router.LocalLatency = local
+	cfg.Router.GlobalLatency = global
+	m, err := topology.LatencyModelByName(model, local, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LatencyModel = m
+}
+
+// The tentpole guarantee of the link refactor: event-queue links driven by
+// the scheduler engines are bit-identical to the seed ring links driven by
+// the dense reference engines, across worker counts and latency settings
+// (defaults, non-default uniform, heterogeneous).
+func TestEventLinksMatchRingLinkReference(t *testing.T) {
+	mechs := []string{"MIN", "In-Trns-MM"}
+	loads := []float64{0.05, 0.4}
+	workerCounts := []int{1, 2, 4}
+	if testing.Short() {
+		mechs = []string{"In-Trns-MM"}
+		loads = []float64{0.4}
+	}
+	for _, ls := range latencySettings() {
+		for _, mech := range mechs {
+			for _, load := range loads {
+				cfg := equivCfg(mech, "UN", load)
+				applyLatency(t, &cfg, ls.local, ls.global, ls.model)
+
+				refCfg := cfg
+				refCfg.RingLinks = true
+				ref := runRef(t, refCfg)
+
+				for _, workers := range workerCounts {
+					res, _ := runSched(t, cfg, workers)
+					requireIdentical(t, ls.name+"/"+mech, ref, res)
+				}
+			}
+		}
+	}
+}
+
+// The reference engines must themselves be link-implementation agnostic:
+// rings vs event queues under the same dense engine give identical
+// results (isolates link behaviour from scheduler behaviour).
+func TestReferenceEngineLinkImplAgnostic(t *testing.T) {
+	cfg := equivCfg("Src-CRG", "ADVc", 0.3)
+	applyLatency(t, &cfg, 4, 29, "groupskew")
+	ring := cfg
+	ring.RingLinks = true
+	want := runRef(t, ring)
+	got := runRef(t, cfg)
+	requireIdentical(t, "ref ring-vs-event", want, got)
+}
+
+// At very low load under non-default uniform latencies, measured latency
+// must match the closed-form zero-load model — the pathCost layers all
+// price the runtime latencies, not the Table I constants.
+func TestZeroLoadLatencyNonDefaultUniform(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "MIN"
+	cfg.Pattern = "UN"
+	cfg.Load = 0.01
+	cfg.WarmupCycles = 2000
+	cfg.MeasureCycles = 6000
+	applyLatency(t, &cfg, 25, 250, "uniform")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cfg.Router
+	topo := topology.New(cfg.Topology)
+	want := analytic.MeanZeroLoadLatency(topo, cfg.LatencyModel,
+		r.PipelineCycles, r.CrossbarCycles(), r.SerialCycles())
+	got := res.AvgLatency()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("low-load latency %.1f, analytic %.1f (>5%% apart)", got, want)
+	}
+}
+
+// The heterogeneous acceptance case: a group-skew latency topology runs
+// end-to-end and its zero-load latency matches the exact analytic
+// expectation (enumerated over router pairs, per-cable pricing).
+func TestZeroLoadLatencyHeterogeneous(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "MIN"
+	cfg.Pattern = "UN"
+	cfg.Load = 0.01
+	cfg.WarmupCycles = 2000
+	cfg.MeasureCycles = 8000
+	applyLatency(t, &cfg, 10, 100, "groupskew")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cfg.Router
+	topo := topology.New(cfg.Topology)
+	want := analytic.MeanZeroLoadLatency(topo, cfg.LatencyModel,
+		r.PipelineCycles, r.CrossbarCycles(), r.SerialCycles())
+	uniform := analytic.MeanZeroLoadLatency(topo, topology.UniformLatency{Local: 10, Global: 100},
+		r.PipelineCycles, r.CrossbarCycles(), r.SerialCycles())
+	if want <= uniform {
+		t.Fatalf("groupskew expectation %.1f not above uniform %.1f — preset not heterogeneous?", want, uniform)
+	}
+	got := res.AvgLatency()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("heterogeneous low-load latency %.1f, analytic %.1f (>5%% apart)", got, want)
+	}
+	// The latency identity survives heterogeneity: base+misroute+waits
+	// must equal the average total exactly.
+	b := res.Breakdown()
+	if diff := b.Total() - res.AvgLatency(); math.Abs(diff) > 1e-6 {
+		t.Errorf("breakdown total %.6f != avg latency %.6f under heterogeneous latencies", b.Total(), res.AvgLatency())
+	}
+}
+
+// A latency model returning a non-positive latency must be rejected at
+// build time, not crash mid-run.
+type badModel struct{}
+
+func (badModel) Name() string                                   { return "bad" }
+func (badModel) LocalLatency(*topology.Topology, int, int) int  { return 10 }
+func (badModel) GlobalLatency(*topology.Topology, int, int) int { return 0 }
+
+func TestBadLatencyModelRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LatencyModel = badModel{}
+	if _, err := NewNetwork(&cfg, nil); err == nil {
+		t.Fatal("non-positive link latency accepted")
+	}
+}

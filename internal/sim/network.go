@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -27,7 +28,7 @@ type nodeState struct {
 type Network struct {
 	Topo    *topology.Topology
 	Routers []*router.Router
-	Links   []*router.Link
+	Links   []router.Link
 
 	cfg     *Config
 	mech    routing.Mechanism
@@ -39,6 +40,17 @@ type Network struct {
 	nodes   []nodeState
 	pool    sync.Pool
 	genProb float64 // packet generation probability per node per cycle
+
+	// latency is the resolved per-link latency model; uniform caches the
+	// constant-latency fast path so the per-packet minimal-path pricing in
+	// generate stays two multiplies for the common case.
+	latency topology.LatencyModel
+	uniform *topology.UniformLatency // non-nil when latency is uniform
+
+	// maxLinkLat is the largest link latency wired into the network. The
+	// watchdog widens its no-progress horizon by it: with long cables a
+	// healthy network may show no router activity for a full flight time.
+	maxLinkLat int64
 
 	// genWake caches, per router, the earliest future arrival among its
 	// nodes' generation processes (-1: none). generate keeps it current;
@@ -108,21 +120,51 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 
 	// Links: one per direction, created from the sender side. Both ends
 	// record the far-side router id so the engines can wake receivers at
-	// packet- and credit-arrival cycles (schedule.go).
+	// packet- and credit-arrival cycles (schedule.go). Latencies come from
+	// the run's latency model, per link; the link implementation is the
+	// compact event queue unless cfg.RingLinks asks for the seed rings.
+	// Event horizons: packets on one link are spaced by the serialisation
+	// time, credits by the crossbar occupancy of the far input port.
+	net.latency = cfg.LatencyModel
+	if net.latency == nil {
+		net.latency = topology.UniformLatency{Local: rcfg.LocalLatency, Global: rcfg.GlobalLatency}
+	}
+	if u, ok := net.latency.(topology.UniformLatency); ok {
+		net.uniform = &u
+	}
 	horizon := rcfg.SerialCycles()
+	newLink := func(lat, src, dst int) (router.Link, error) {
+		if lat <= 0 {
+			return nil, fmt.Errorf("sim: latency model %q assigns non-positive latency %d to link %d->%d",
+				net.latency.Name(), lat, src, dst)
+		}
+		if int64(lat) > net.maxLinkLat {
+			net.maxLinkLat = int64(lat)
+		}
+		if cfg.RingLinks {
+			return router.NewLink(lat, horizon), nil
+		}
+		return router.NewEventLink(lat, rcfg.SerialCycles(), rcfg.CrossbarCycles()), nil
+	}
 	p := topo.Params()
 	for r := 0; r < topo.NumRouters(); r++ {
 		for l := 0; l < p.A-1; l++ {
-			link := router.NewLink(rcfg.LocalLatency, horizon)
 			nb := topo.LocalNeighbor(r, l)
+			link, err := newLink(net.latency.LocalLatency(topo, r, nb), r, nb)
+			if err != nil {
+				return nil, err
+			}
 			inPort := topo.LocalPortTo(nb, topo.RouterLocalIndex(r))
 			net.Routers[r].ConnectOutTo(l, link, nb, inPort)
 			net.Routers[nb].ConnectInFrom(inPort, link, r, l)
 			net.Links = append(net.Links, link)
 		}
 		for gp := p.A - 1; gp < p.A-1+p.H; gp++ {
-			link := router.NewLink(rcfg.GlobalLatency, horizon)
 			nb, inPort := topo.GlobalNeighbor(r, gp)
+			link, err := newLink(net.latency.GlobalLatency(topo, r, nb), r, nb)
+			if err != nil {
+				return nil, err
+			}
 			net.Routers[r].ConnectOutTo(gp, link, nb, inPort)
 			net.Routers[nb].ConnectInFrom(inPort, link, r, gp)
 			net.Links = append(net.Links, link)
@@ -259,11 +301,24 @@ func (net *Network) generate(r int, now int64) {
 			pkt.GenTime = now
 			min := net.Topo.MinimalPathLength(src, dst)
 			pkt.MinLocal, pkt.MinGlobal = min.Local, min.Global
+			pkt.MinLinkLat = net.minPathLinkLat(src, dst, min)
 			net.mech.OnGenerate(&net.env, pkt, ns.rnd)
 			rtr.EnqueueInjection(now, pkt)
 		}
 	}
 	net.refreshGenWake(r)
+}
+
+// minPathLinkLat prices the links of the unique minimal path from src to
+// dst under the run's latency model: [local to the exit router] + global +
+// [local from the entry router], with the uniform model short-circuited to
+// two multiplies (the hot, seed-identical case).
+func (net *Network) minPathLinkLat(src, dst int, min topology.PathLength) int64 {
+	if u := net.uniform; u != nil {
+		return int64(min.Local)*int64(u.Local) + int64(min.Global)*int64(u.Global)
+	}
+	t := net.Topo
+	return topology.MinimalPathLinkLatency(t, net.latency, t.NodeRouter(src), t.NodeRouter(dst))
 }
 
 // EngineSteps returns the number of router-steps the last

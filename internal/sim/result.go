@@ -239,6 +239,14 @@ func (r *Result) JobAvgLatency(j int) float64 {
 	return float64(t.LatencySum) / float64(t.Delivered)
 }
 
+// JobLatencyQuantile returns an upper-bound estimate of the q-quantile
+// latency of job j's delivered packets (e.g. 0.99 for the job's p99), from
+// the per-job logarithmic latency histogram.
+func (r *Result) JobLatencyQuantile(j int, q float64) int64 {
+	t := r.JobTotal(j)
+	return t.Latencies.Quantile(q)
+}
+
 // JobInjections returns job j's injected packet counts per hosting router,
 // in JobRouters[j] order — the per-job counterpart of Injections.
 func (r *Result) JobInjections(j int) []int64 {

@@ -92,6 +92,11 @@ type Job struct {
 	DeliveredPhits int64
 	LatencySum     int64
 	MaxLatency     int64
+
+	// Latencies is the per-job logarithmic latency histogram, so workload
+	// runs can report per-job percentiles (p50/p99 — the SLO metrics)
+	// next to the averages.
+	Latencies Histogram
 }
 
 // Merge adds other's counters into j.
@@ -105,6 +110,7 @@ func (j *Job) Merge(other *Job) {
 	if other.MaxLatency > j.MaxLatency {
 		j.MaxLatency = other.MaxLatency
 	}
+	j.Latencies.Merge(&other.Latencies)
 }
 
 // Breakdown is the average per-packet latency decomposition of Figure 3,

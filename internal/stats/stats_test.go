@@ -39,6 +39,25 @@ func TestMergeTakesMax(t *testing.T) {
 	}
 }
 
+// Job merges must fold the per-job latency histograms so workload results
+// can report per-job percentiles from merged router accumulators.
+func TestJobMergeFoldsHistogram(t *testing.T) {
+	var a, b Job
+	a.Latencies.Observe(100)
+	a.Latencies.Observe(3000)
+	b.Latencies.Observe(100)
+	a.Merge(&b)
+	if got := a.Latencies.Count(); got != 3 {
+		t.Fatalf("merged histogram has %d samples, want 3", got)
+	}
+	if p50 := a.Latencies.Quantile(0.5); p50 < 100 || p50 > 256 {
+		t.Errorf("merged p50 %d outside the 100-cycle bucket", p50)
+	}
+	if p99 := a.Latencies.Quantile(0.99); p99 < 3000 {
+		t.Errorf("merged p99 %d below the 3000-cycle sample", p99)
+	}
+}
+
 func TestBreakdownTotal(t *testing.T) {
 	b := Breakdown{Base: 1, Misroute: 2, WaitLocal: 3, WaitGlobal: 4, WaitInj: 5}
 	if got := b.Total(); got != 15 {

@@ -9,10 +9,45 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 )
+
+// RunTasks executes fn(i) for every i in [0,n) on a pool of workers
+// goroutines (0 or negative: NumCPU, capped at n) and blocks until all
+// calls return. Tasks are handed out dynamically, so uneven task costs
+// (saturated simulations next to idle ones) keep every worker busy. It is
+// the package's generic worker pool: load sweeps, seed replicas and the
+// interference matrix all ride on it.
+func RunTasks(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Point identifies one simulation in a sweep.
 type Point struct {
@@ -79,49 +114,26 @@ func (g *Grid) Points() []Point {
 func (g *Grid) Run(progress func(done, total int)) []Sample {
 	pts := g.Points()
 	out := make([]Sample, len(pts))
-	workers := g.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(pts) {
-		workers = len(pts)
-	}
 	var (
-		next int
 		done int
 		mu   sync.Mutex
-		wg   sync.WaitGroup
 	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(pts) {
-					return
-				}
-				cfg := g.Base
-				cfg.Mechanism = pts[i].Mechanism
-				cfg.Pattern = pts[i].Pattern
-				cfg.Load = pts[i].Load
-				cfg.Seed = pts[i].Seed
-				res, err := sim.Run(cfg)
-				out[i] = Sample{Point: pts[i], Result: res, Err: err}
-				if progress != nil {
-					mu.Lock()
-					done++
-					d := done
-					mu.Unlock()
-					progress(d, len(pts))
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	RunTasks(len(pts), g.Workers, func(i int) {
+		cfg := g.Base
+		cfg.Mechanism = pts[i].Mechanism
+		cfg.Pattern = pts[i].Pattern
+		cfg.Load = pts[i].Load
+		cfg.Seed = pts[i].Seed
+		res, err := sim.Run(cfg)
+		out[i] = Sample{Point: pts[i], Result: res, Err: err}
+		if progress != nil {
+			mu.Lock()
+			done++
+			d := done
+			mu.Unlock()
+			progress(d, len(pts))
+		}
+	})
 	return out
 }
 

@@ -350,27 +350,46 @@ func (w *Workload) JobDesc(j int) string {
 	return fmt.Sprintf("%s%s on %d routers (%s)", jb.patterns[0].label(), phase, len(jb.routers), jb.spec.Alloc)
 }
 
-// Solo returns a copy of the workload in which only job j generates
-// traffic, keeping its exact placement and job indices — the baseline for
-// the inter-job interference metric (a job's latency in the mix vs. the
-// same placement running alone).
-func (w *Workload) Solo(j int) *Workload {
-	if j < 0 || j >= len(w.jobs) {
-		panic(fmt.Sprintf("workload: Solo(%d) out of range [0,%d)", j, len(w.jobs)))
+// Subset returns a copy of the workload in which only the given jobs
+// generate traffic, keeping every job's exact placement and job index —
+// the building block of the interference experiments (Solo baselines and
+// the pairwise matrix both select sub-workloads of one compiled
+// placement, so the placements under comparison are literally the same).
+func (w *Workload) Subset(keep ...int) *Workload {
+	sel := make([]bool, len(w.jobs))
+	labels := make([]string, 0, len(keep))
+	for _, j := range keep {
+		if j < 0 || j >= len(w.jobs) {
+			panic(fmt.Sprintf("workload: Subset(%d) out of range [0,%d)", j, len(w.jobs)))
+		}
+		if !sel[j] {
+			labels = append(labels, w.jobs[j].spec.Name)
+		}
+		sel[j] = true
 	}
 	s := &Workload{
 		topo:     w.topo,
 		jobs:     w.jobs,
 		nodeJob:  make([]int32, len(w.nodeJob)),
 		nodeRank: w.nodeRank,
-		name:     w.name + "/solo:" + w.jobs[j].spec.Name,
+		name:     w.name + "/subset:" + strings.Join(labels, "+"),
 	}
 	for n, ji := range w.nodeJob {
-		if ji == int32(j) {
+		if ji >= 0 && sel[ji] {
 			s.nodeJob[n] = ji
 		} else {
 			s.nodeJob[n] = -1
 		}
 	}
+	return s
+}
+
+// Solo returns a copy of the workload in which only job j generates
+// traffic, keeping its exact placement and job indices — the baseline for
+// the inter-job interference metric (a job's latency in the mix vs. the
+// same placement running alone).
+func (w *Workload) Solo(j int) *Workload {
+	s := w.Subset(j)
+	s.name = w.name + "/solo:" + w.jobs[j].spec.Name
 	return s
 }

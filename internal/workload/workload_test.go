@@ -213,6 +213,39 @@ func TestSoloKeepsPlacementAndIndices(t *testing.T) {
 	}
 }
 
+func TestSubsetKeepsSelectedJobsOnly(t *testing.T) {
+	topo := topo2()
+	wl, err := workload.Compile(topo, workload.Spec{Jobs: []workload.JobSpec{
+		{Name: "a", Nodes: 8}, {Name: "b", Nodes: 8}, {Name: "c", Nodes: 8},
+	}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := wl.Subset(0, 2)
+	if pair.NumJobs() != 3 {
+		t.Fatal("subset workload lost job indices")
+	}
+	for n := 0; n < topo.NumNodes(); n++ {
+		switch wl.NodeJob(n) {
+		case 0, 2:
+			if pair.NodeJob(n) != wl.NodeJob(n) || !pair.Member(n) {
+				t.Fatalf("subset dropped node %d of kept job %d", n, wl.NodeJob(n))
+			}
+		default:
+			if pair.Member(n) {
+				t.Fatalf("subset kept node %d of job %d", n, wl.NodeJob(n))
+			}
+		}
+	}
+	// Out-of-range selections are programmer errors, caught loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Subset index accepted")
+		}
+	}()
+	wl.Subset(3)
+}
+
 func runCfg() sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.Mechanism = "In-Trns-MM"
