@@ -11,36 +11,43 @@
 //	Table III       — fairness metrics, without priority
 //	Extension       — age-based arbitration (the paper's future work)
 //
+// The figures run as one task graph on the shared sweep worker pool:
+// whole simulations are the unit of parallelism, figures drain into each
+// other without barriers, and a checkpoint file (-checkpoint, or
+// <out>/checkpoint.jsonl when -out is set) persists every completed run,
+// so an interrupted pipeline — Ctrl-C, crash, batch-job timeout — resumes
+// where it left off. Results are bit-identical whatever the worker count
+// and however often the run was interrupted.
+//
 // By default it runs on a scaled-down balanced h=3 Dragonfly (342 nodes)
 // where every qualitative effect of the paper is visible in minutes; pass
-// -full for the paper's 5,256-node configuration (hours of CPU time).
+// -full for the paper's 5,256-node configuration.
 //
 // Usage:
 //
 //	dfexperiments -out results/ -seeds 3
-//	dfexperiments -full -out results-full/
+//	dfexperiments -full -out results-full/          # Ctrl-C safe,
+//	dfexperiments -full -out results-full/          # rerun to resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"dragonfly/internal/cli"
+	"dragonfly/internal/experiments"
 	"dragonfly/internal/report"
-	"dragonfly/internal/router"
+	"dragonfly/internal/routing"
 	"dragonfly/internal/sweep"
 )
-
-var paperMechanisms = []string{
-	"MIN", "Obl-RRG", "Obl-CRG", "Src-RRG", "Src-CRG",
-	"In-Trns-RRG", "In-Trns-CRG", "In-Trns-MM",
-}
-
-var fairnessMechanisms = paperMechanisms[1:] // MIN is not part of Fig 4/6
 
 func main() {
 	fs := flag.NewFlagSet("dfexperiments", flag.ExitOnError)
@@ -49,8 +56,13 @@ func main() {
 	seeds := fs.Int("seeds", 3, "seed replicas per point (paper: 3)")
 	loads := fs.String("loads", "0.05:0.6:0.05", "load range for the figure sweeps")
 	fairLoad := fs.Float64("fair-load", 0.4, "load for the fairness experiments (paper: 0.4)")
-	skipSweeps := fs.Bool("skip-sweeps", false, "skip the Figure 2/5 load sweeps (fairness only)")
+	skipSweeps := fs.Bool("skip-sweeps", false, "skip the Figure 2/3/5 load sweeps (fairness only)")
+	mechs := fs.String("mechanisms", strings.Join(experiments.PaperMechanisms, ","),
+		"mechanisms to sweep ("+strings.Join(routing.Names(), ", ")+")")
 	jobs := fs.Int("jobs", 0, "concurrent simulations (0 = NumCPU)")
+	ckPath := fs.String("checkpoint", "",
+		"checkpoint file for interrupt/resume (default <out>/checkpoint.jsonl when -out is set; \"off\" disables)")
+	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -59,123 +71,119 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mechList := cli.SplitList(*mechs)
+	if err := cli.ValidateNames(base.Topology, mechList, []string{"UN", "ADV+1", "ADVc"}); err != nil {
+		fatal(err)
+	}
 	loadList, err := cli.ParseLoads(*loads)
 	if err != nil {
 		fatal(err)
 	}
-	seedList := cli.ParseSeeds(base.Seed, *seeds)
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
 	}
+
+	pipe := experiments.Build(base, experiments.Options{
+		Loads:      loadList,
+		Seeds:      cli.ParseSeeds(base.Seed, *seeds),
+		FairLoad:   *fairLoad,
+		SkipSweeps: *skipSweeps,
+		Mechanisms: mechList,
+		Workers:    *jobs,
+	})
+
+	var ck *sweep.Checkpoint
+	path := *ckPath
+	if path == "" && *out != "" {
+		path = filepath.Join(*out, "checkpoint.jsonl")
+	}
+	if path != "" && path != "off" {
+		ck, err = sweep.OpenCheckpoint(path, pipe.Fingerprint())
+		if err != nil {
+			fatal(err)
+		}
+		defer ck.Close()
+		if n := pipe.Restorable(ck); n > 0 {
+			fmt.Fprintf(os.Stderr, "dfexperiments: resuming from %s (%d/%d runs already done)\n",
+				path, n, pipe.TotalPoints())
+		}
+	}
+
+	// First Ctrl-C cancels the pipeline gracefully: running simulations
+	// drain, the checkpoint stays consistent, and a rerun resumes. A
+	// second Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-
-	if !*skipSweeps {
-		// Figures 2 and 5: three patterns × two arbitrations.
-		for _, exp := range []struct {
-			fig      string
-			arb      router.Arbitration
-			patterns []string
-		}{
-			{"fig2", router.TransitOverInjection, []string{"UN", "ADV+1", "ADVc"}},
-			{"fig5", router.RoundRobin, []string{"UN", "ADV+1", "ADVc"}},
-		} {
-			for i, pat := range exp.patterns {
-				cfg := base
-				cfg.Router.Arbitration = exp.arb
-				grid := sweep.Grid{
-					Base:       cfg,
-					Mechanisms: paperMechanisms,
-					Patterns:   []string{pat},
-					Loads:      loadList,
-					Seeds:      seedList,
-					Workers:    *jobs,
-				}
-				name := fmt.Sprintf("%s%c (%s, %v)", exp.fig, 'a'+i, pat, exp.arb)
-				series := runGrid(name, &grid)
-				writeCSV(*out, fmt.Sprintf("%s%c.csv", exp.fig, 'a'+i), series, report.CurveCSV)
-				printCurves(name, series)
-			}
+	progress := func(p experiments.Progress) {
+		if *quiet {
+			return
 		}
-
-		// Figure 3: latency breakdown for In-Trns-MM under ADVc.
-		cfg := base
-		cfg.Router.Arbitration = router.TransitOverInjection
-		grid := sweep.Grid{
-			Base:       cfg,
-			Mechanisms: []string{"In-Trns-MM"},
-			Patterns:   []string{"ADVc"},
-			Loads:      loadList,
-			Seeds:      seedList,
-			Workers:    *jobs,
+		elapsed := time.Since(start)
+		line := fmt.Sprintf("\rdfexperiments: %s · %d/%d runs", p.Task, p.Done, p.Total)
+		if fresh := p.Done - p.Restored; fresh > 4 && p.Done < p.Total {
+			rate := elapsed / time.Duration(fresh)
+			line += fmt.Sprintf(" · eta %v", (time.Duration(p.Total-p.Done) * rate).Round(time.Second))
 		}
-		series := runGrid("fig3 (breakdown In-Trns-MM/ADVc)", &grid)
-		writeCSV(*out, "fig3.csv", series, report.BreakdownCSV)
-		fmt.Printf("\n== Figure 3: latency breakdown, In-Trns-MM under ADVc ==\n\n")
-		fmt.Print(report.BreakdownTable(series).String())
+		fmt.Fprintf(os.Stderr, "%-78s", line)
+	}
+	results, runErr := pipe.Run(ctx, ck, progress)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
 	}
 
-	// Figures 4/6 and Tables II/III (+ age-arbitration extension).
-	for _, exp := range []struct {
-		fig, tab string
-		arb      router.Arbitration
-	}{
-		{"fig4", "Table II", router.TransitOverInjection},
-		{"fig6", "Table III", router.RoundRobin},
-		{"ext-age", "Age arbitration (future work)", router.AgeBased},
-	} {
-		cfg := base
-		cfg.Router.Arbitration = exp.arb
-		grid := sweep.Grid{
-			Base:       cfg,
-			Mechanisms: fairnessMechanisms,
-			Patterns:   []string{"ADVc"},
-			Loads:      []float64{*fairLoad},
-			Seeds:      seedList,
-			Workers:    *jobs,
+	for _, r := range results {
+		if r.Series == nil {
+			continue // interrupted before this task completed
 		}
-		series := runGrid(exp.fig, &grid)
-		fmt.Printf("\n== %s / %s: ADVc @ %.2f, arbitration %v ==\n\n", exp.fig, exp.tab, *fairLoad, exp.arb)
-		fmt.Print(report.InjectionTable(series, 0, base.Topology.A).String())
-		fmt.Println()
-		fmt.Print(report.FairnessTable(series).String())
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, "dfexperiments: warning:", r.Err)
+		}
+		render(r, *out, base.Topology.A)
 	}
 
+	if runErr == context.Canceled || ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "dfexperiments: interrupted after %v — rerun with the same flags to resume\n",
+			time.Since(start).Round(time.Second))
+		os.Exit(130)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
 	fmt.Printf("\ndfexperiments: completed in %v\n", time.Since(start).Round(time.Second))
 }
 
-func runGrid(name string, grid *sweep.Grid) []sweep.Series {
-	fmt.Fprintf(os.Stderr, "dfexperiments: running %s (%d simulations)...\n", name, len(grid.Points()))
-	samples := grid.Run(func(done, total int) {
-		if done == total || done%25 == 0 {
-			fmt.Fprintf(os.Stderr, "\r  %d/%d", done, total)
+// render prints one task's tables and writes its CSV.
+func render(r experiments.TaskResult, outDir string, routersPerGroup int) {
+	switch r.Task.Kind {
+	case experiments.Curves:
+		fmt.Printf("\n== %s ==\n\n", r.Task.Title)
+		t := report.NewTable("Mechanism", "Load", "Latency(cyc)", "Throughput")
+		for _, s := range r.Series {
+			t.AddRow(s.Mechanism,
+				fmt.Sprintf("%.3f", s.Load),
+				fmt.Sprintf("%.1f", s.AvgLatency),
+				fmt.Sprintf("%.4f", s.Throughput))
 		}
-		if done == total {
-			fmt.Fprintln(os.Stderr)
-		}
-	})
-	series, err := sweep.Aggregate(samples)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfexperiments: warning:", err)
+		fmt.Print(t.String())
+		writeCSV(outDir, r.Task.CSV, r.Series, report.CurveCSV)
+	case experiments.Breakdown:
+		fmt.Printf("\n== %s ==\n\n", r.Task.Title)
+		fmt.Print(report.BreakdownTable(r.Series).String())
+		writeCSV(outDir, r.Task.CSV, r.Series, report.BreakdownCSV)
+	case experiments.FairnessTables:
+		fmt.Printf("\n== %s ==\n\n", r.Task.Title)
+		fmt.Print(report.InjectionTable(r.Series, 0, routersPerGroup).String())
+		fmt.Println()
+		fmt.Print(report.FairnessTable(r.Series).String())
 	}
-	return series
-}
-
-func printCurves(name string, series []sweep.Series) {
-	fmt.Printf("\n== %s ==\n\n", name)
-	t := report.NewTable("Mechanism", "Load", "Latency(cyc)", "Throughput")
-	for _, s := range series {
-		t.AddRow(s.Mechanism,
-			fmt.Sprintf("%.3f", s.Load),
-			fmt.Sprintf("%.1f", s.AvgLatency),
-			fmt.Sprintf("%.4f", s.Throughput))
-	}
-	fmt.Print(t.String())
 }
 
 func writeCSV(dir, name string, series []sweep.Series, write func(w io.Writer, s []sweep.Series) error) {
-	if dir == "" {
+	if dir == "" || name == "" {
 		return
 	}
 	f, err := os.Create(filepath.Join(dir, name))

@@ -24,10 +24,14 @@
 //	fmt.Println(res.Throughput(), res.AvgLatency(), res.Fairness().CoV)
 //
 // Multi-point studies (load sweeps, per-router fairness, latency
-// breakdowns) are provided by the Sweep helpers and by the executables in
-// cmd/ (dfsim, dfsweep, dffair, dfbreakdown, dfexperiments). See DESIGN.md
-// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
-// record.
+// breakdowns, the solo/paired interference matrix) all execute on one
+// process-wide sweep worker pool (internal/sweep), so concurrent studies
+// share a single machine-level scheduler; cmd/dfexperiments runs the
+// paper's whole evaluation section on it as a checkpointed, resumable
+// pipeline. The executables in cmd/ (dfsim, dfsweep, dffair, dfbreakdown,
+// dfworkload, dfexperiments, dfbench) wrap these APIs. See README.md for
+// the repository map, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record.
 package dragonfly
 
 import (

@@ -1,4 +1,13 @@
-// Package cli holds the flag plumbing shared by the df* executables.
+// Package cli holds the flag plumbing shared by the df* executables: the
+// common simulation flags (topology, cycles, arbitration, link latencies)
+// assembled into a sim.Config, plus list/range parsers for loads and
+// seeds.
+//
+// Invariant: user input is validated at flag time, not deep inside the
+// first simulation — mechanism and pattern names are checked against
+// their registries (with the known names in the error), latencies must be
+// positive, and pattern parameters are checked against the selected
+// topology (e.g. an ADV offset beyond the group count).
 package cli
 
 import (

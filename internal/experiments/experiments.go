@@ -1,0 +1,431 @@
+// Package experiments builds and runs the paper's full evaluation pipeline
+// — every figure and table of Section IV as one task graph over the shared
+// sweep worker pool — with live progress and checkpoint/resume.
+//
+// Each figure is a Task: a named sweep grid plus a render kind (curves,
+// breakdown, or fairness tables). Run expands every task into its
+// simulation points, skips the points a Checkpoint already holds, and
+// submits one pool batch per task, higher-priority batches first, with no
+// barrier between figures: the pool drains fig2a into fig2b into fig3 at
+// whole-simulation granularity, which is what keeps every core busy for
+// the full pipeline instead of per figure. Completed points are persisted
+// to the checkpoint as they finish, so an interrupted pipeline (SIGINT,
+// crash, job timeout) restarts where it left off.
+//
+// Invariants:
+//
+//   - Results are bit-identical across worker counts and across any
+//     interrupt/resume split: per-task records are held in point-index
+//     order and aggregated only when the task is complete, so float
+//     accumulation order never depends on scheduling.
+//   - A checkpoint is bound to the configuration fingerprint that created
+//     it; resuming under a different configuration is an error, not a
+//     silent mix.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dragonfly/internal/router"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/sweep"
+)
+
+// PaperMechanisms is the paper's full mechanism set, in figure-legend
+// order.
+var PaperMechanisms = []string{
+	"MIN", "Obl-RRG", "Obl-CRG", "Src-RRG", "Src-CRG",
+	"In-Trns-RRG", "In-Trns-CRG", "In-Trns-MM",
+}
+
+// Kind selects how a task's series are rendered.
+type Kind int
+
+const (
+	// Curves renders latency/throughput-vs-load tables and CurveCSV.
+	Curves Kind = iota
+	// Breakdown renders the Figure 3 latency decomposition.
+	Breakdown
+	// FairnessTables renders the Figure 4/6 injection histogram plus the
+	// Table II/III fairness metrics.
+	FairnessTables
+)
+
+// Task is one node of the pipeline: a named sweep grid with a render kind.
+type Task struct {
+	// Name is the stable identifier ("fig2a") used for checkpoint keys
+	// and CSV file names.
+	Name string
+	// Title is the human heading ("fig2a (UN, transit-priority)").
+	Title string
+	Kind  Kind
+	Grid  sweep.Grid
+	// Priority orders tasks on the pool: the pipeline assigns descending
+	// priorities in paper order, so figures complete front to back while
+	// the pool stays saturated across figure boundaries.
+	Priority int
+	// CSV is the output file name ("fig2a.csv"; empty: no CSV).
+	CSV string
+
+	// deriveFrom, when set, marks this task's grid a subset of another
+	// task's: it owns no simulations and is rendered from the source's
+	// records (fig3 ⊂ fig2c whenever In-Trns-MM is among the swept
+	// mechanisms — re-simulating saturated paper-scale ADVc points costs
+	// minutes each).
+	deriveFrom *Task
+}
+
+// ckptTask is the checkpoint namespace the task's points live under.
+func (t *Task) ckptTask() string {
+	if t.deriveFrom != nil {
+		return t.deriveFrom.Name
+	}
+	return t.Name
+}
+
+// Points returns the task's simulation points.
+func (t *Task) Points() []sweep.Point { return t.Grid.Points() }
+
+// Options parameterizes Build.
+type Options struct {
+	// Loads for the Figure 2/5 sweeps.
+	Loads []float64
+	// Seeds replicated per point (the paper averages 3).
+	Seeds []uint64
+	// FairLoad is the operating point of the fairness tables (paper: 0.4).
+	FairLoad float64
+	// SkipSweeps drops the Figure 2/3/5 load sweeps (fairness only).
+	SkipSweeps bool
+	// Mechanisms overrides PaperMechanisms (tests shrink the grid with
+	// it). Fairness tasks use the non-MIN subset, as in the paper.
+	Mechanisms []string
+	// Workers bounds concurrently running simulations across the whole
+	// pipeline (0: pool width) — the resident-Network/memory bound.
+	Workers int
+}
+
+// Pipeline is the built task graph.
+type Pipeline struct {
+	Tasks   []*Task
+	base    sim.Config
+	workers int // pipeline-wide concurrent-simulation bound (0: pool width)
+}
+
+// Build assembles the figure/table tasks for a base configuration. The
+// base's arbitration is overridden per task (Figures 2-4 run with transit
+// priority, 5/6 without, the extension with age-based arbitration).
+func Build(base sim.Config, opt Options) *Pipeline {
+	mechs := opt.Mechanisms
+	if len(mechs) == 0 {
+		mechs = PaperMechanisms
+	}
+	fairMechs := make([]string, 0, len(mechs))
+	for _, m := range mechs {
+		if m != "MIN" { // MIN is not part of Figures 4/6
+			fairMechs = append(fairMechs, m)
+		}
+	}
+
+	p := &Pipeline{base: base, workers: opt.Workers}
+	add := func(t Task) {
+		// base.Workers is honoured per simulation (engine-level
+		// parallelism); Options.Workers bounds how many such simulations
+		// run at once. The product is the caller's choice.
+		t.Grid.Seeds = opt.Seeds
+		p.Tasks = append(p.Tasks, &t)
+	}
+
+	if !opt.SkipSweeps {
+		// Figures 2 and 5: three patterns × two arbitrations.
+		for _, fig := range []struct {
+			name string
+			arb  router.Arbitration
+		}{
+			{"fig2", router.TransitOverInjection},
+			{"fig5", router.RoundRobin},
+		} {
+			for i, pat := range []string{"UN", "ADV+1", "ADVc"} {
+				cfg := base
+				cfg.Router.Arbitration = fig.arb
+				name := fmt.Sprintf("%s%c", fig.name, 'a'+i)
+				add(Task{
+					Name:  name,
+					Title: fmt.Sprintf("%s (%s, %v)", name, pat, fig.arb),
+					Kind:  Curves,
+					Grid: sweep.Grid{
+						Base:       cfg,
+						Mechanisms: mechs,
+						Patterns:   []string{pat},
+						Loads:      opt.Loads,
+					},
+					CSV: name + ".csv",
+				})
+			}
+		}
+
+		// Figure 3: latency breakdown for In-Trns-MM under ADVc. When the
+		// sweep already covers In-Trns-MM, fig3's points are a strict
+		// subset of fig2c's and are rendered from its records instead of
+		// re-simulated.
+		cfg := base
+		cfg.Router.Arbitration = router.TransitOverInjection
+		fig3 := Task{
+			Name:  "fig3",
+			Title: "Figure 3: latency breakdown, In-Trns-MM under ADVc",
+			Kind:  Breakdown,
+			Grid: sweep.Grid{
+				Base:       cfg,
+				Mechanisms: []string{"In-Trns-MM"},
+				Patterns:   []string{"ADVc"},
+				Loads:      opt.Loads,
+			},
+			CSV: "fig3.csv",
+		}
+		for _, m := range mechs {
+			if m == "In-Trns-MM" {
+				fig3.deriveFrom = p.taskByName("fig2c")
+				break
+			}
+		}
+		add(fig3)
+	}
+
+	// Figures 4/6 and Tables II/III (+ the age-arbitration extension).
+	for _, exp := range []struct {
+		name, title string
+		arb         router.Arbitration
+	}{
+		{"fig4", "fig4 / Table II", router.TransitOverInjection},
+		{"fig6", "fig6 / Table III", router.RoundRobin},
+		{"ext-age", "Age arbitration (future work)", router.AgeBased},
+	} {
+		cfg := base
+		cfg.Router.Arbitration = exp.arb
+		add(Task{
+			Name:  exp.name,
+			Title: fmt.Sprintf("%s: ADVc @ %.2f, arbitration %v", exp.title, opt.FairLoad, exp.arb),
+			Kind:  FairnessTables,
+			Grid: sweep.Grid{
+				Base:       cfg,
+				Mechanisms: fairMechs,
+				Patterns:   []string{"ADVc"},
+				Loads:      []float64{opt.FairLoad},
+			},
+		})
+	}
+
+	// Paper order front to back: earlier figures complete first while the
+	// pool keeps pulling from later ones whenever a worker would idle.
+	for i, t := range p.Tasks {
+		t.Priority = len(p.Tasks) - i
+	}
+	return p
+}
+
+// taskByName finds an already-added task (nil if absent).
+func (p *Pipeline) taskByName(name string) *Task {
+	for _, t := range p.Tasks {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// TotalPoints is the pipeline's simulation count before checkpoint
+// skipping. Derived tasks own no simulations and do not count.
+func (p *Pipeline) TotalPoints() int {
+	n := 0
+	for _, t := range p.Tasks {
+		if t.deriveFrom == nil {
+			n += len(t.Points())
+		}
+	}
+	return n
+}
+
+// Restorable counts this pipeline's points already satisfied by the
+// checkpoint — the meaningful "already done" number for a resume banner
+// (the checkpoint may hold records for points outside a narrowed grid).
+func (p *Pipeline) Restorable(ck *sweep.Checkpoint) int {
+	n := 0
+	for _, t := range p.Tasks {
+		if t.deriveFrom != nil {
+			continue
+		}
+		for _, pt := range t.Points() {
+			if _, ok := ck.Lookup(t.ckptTask(), pt); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Fingerprint identifies the configuration a checkpoint belongs to:
+// everything that changes simulation outcomes — topology, router and
+// routing parameters (including the uniform link latencies), cycle counts,
+// and the latency model's registry name (its parameters are the router
+// latencies, already covered).
+func (p *Pipeline) Fingerprint() string {
+	b := p.base
+	lat := "default-uniform"
+	if b.LatencyModel != nil {
+		lat = b.LatencyModel.Name()
+	}
+	return fmt.Sprintf("topo=%+v router=%+v routing=%+v warm=%d meas=%d lat=%s",
+		b.Topology, b.Router, b.Routing, b.WarmupCycles, b.MeasureCycles, lat)
+}
+
+// Progress is one live-progress observation.
+type Progress struct {
+	// Task is the task whose point just completed (or was restored).
+	Task string
+	// Done/Total count simulation points across the whole pipeline;
+	// Done includes checkpoint-restored points.
+	Done, Total int
+	// Restored counts the points satisfied from the checkpoint.
+	Restored int
+}
+
+// TaskResult pairs a task with its aggregated series.
+type TaskResult struct {
+	Task   *Task
+	Series []sweep.Series
+	// Err is the first per-point failure (series then cover the surviving
+	// points), or the cancellation error when the pipeline was
+	// interrupted before this task completed (series then nil).
+	Err error
+}
+
+// Run executes the pipeline on the shared sweep pool. Points found in ck
+// (nil: no checkpointing) are restored without simulating; fresh
+// completions are persisted to ck as they finish. progress (nil ok) is
+// invoked after every restored or completed point. On cancellation Run
+// drains running simulations, leaves the checkpoint consistent, and
+// returns ctx.Err(); already-finished tasks keep their results.
+func (p *Pipeline) Run(ctx context.Context, ck *sweep.Checkpoint, progress func(Progress)) ([]TaskResult, error) {
+	total := p.TotalPoints()
+	var done, restored atomic.Int64
+	note := func(task string) {
+		if progress != nil {
+			progress(Progress{
+				Task:     task,
+				Done:     int(done.Load()),
+				Total:    total,
+				Restored: int(restored.Load()),
+			})
+		}
+	}
+
+	results := make([]TaskResult, len(p.Tasks))
+	limit := sweep.NewLimit(p.workers)
+	type taskRun struct {
+		batch *sweep.Batch
+		recs  []sweep.Record
+	}
+	runs := make(map[string]*taskRun, len(p.Tasks))
+	var (
+		ckMu  sync.Mutex
+		ckErr error // first checkpoint-storage failure, if any
+	)
+	var wg sync.WaitGroup
+	for idx, t := range p.Tasks {
+		if src := t.deriveFrom; src != nil {
+			// Derived task: wait for the source's simulations, then
+			// render this task's point subset from the source's records.
+			// Build adds sources before their derivations, so the source
+			// run always exists by now.
+			sr := runs[src.Name]
+			if sr == nil {
+				results[idx] = TaskResult{Task: t, Err: fmt.Errorf("experiments: task %s derives from %s, which was not scheduled", t.Name, src.Name)}
+				continue
+			}
+			wg.Add(1)
+			go func(idx int, t *Task, sr *taskRun) {
+				defer wg.Done()
+				if err := sr.batch.Wait(ctx); err != nil {
+					results[idx] = TaskResult{Task: t, Err: err}
+					return
+				}
+				byPt := make(map[sweep.Point]sweep.Record, len(sr.recs))
+				for _, rec := range sr.recs {
+					byPt[rec.Point] = rec
+				}
+				recs := make([]sweep.Record, 0, len(t.Points()))
+				for _, pt := range t.Points() {
+					if rec, ok := byPt[pt]; ok {
+						recs = append(recs, rec)
+					}
+				}
+				series, err := sweep.AggregateRecords(recs)
+				results[idx] = TaskResult{Task: t, Series: series, Err: err}
+			}(idx, t, sr)
+			continue
+		}
+
+		pts := t.Points()
+		recs := make([]sweep.Record, len(pts))
+		pending := make([]int, 0, len(pts))
+		for i, pt := range pts {
+			if rec, ok := ck.Lookup(t.Name, pt); ok {
+				recs[i] = rec
+				done.Add(1)
+				restored.Add(1)
+				note(t.Name)
+				continue
+			}
+			pending = append(pending, i)
+		}
+
+		// One non-blocking batch per task: all tasks queue now, the pool
+		// works them in priority order with no inter-figure barrier. The
+		// shared Limit makes Options.Workers a pipeline-wide bound, not a
+		// per-figure one.
+		batch := sweep.Shared().Submit(len(pending), sweep.RunOpts{
+			Priority: t.Priority,
+			Limit:    limit,
+			Context:  ctx,
+		}, func(k int) {
+			i := pending[k]
+			rec := sweep.RecordOf(t.Name, t.Grid.RunPoint(pts[i]))
+			recs[i] = rec
+			if err := ck.Put(rec); err != nil {
+				// Storage trouble must not kill the sweep — the run
+				// completes, only resumability degrades — but it is
+				// surfaced once in Run's error.
+				ckMu.Lock()
+				if ckErr == nil {
+					ckErr = err
+				}
+				ckMu.Unlock()
+			}
+			done.Add(1)
+			note(t.Name)
+		})
+
+		runs[t.Name] = &taskRun{batch: batch, recs: recs}
+		wg.Add(1)
+		go func(idx int, t *Task, batch *sweep.Batch) {
+			defer wg.Done()
+			if err := batch.Wait(ctx); err != nil {
+				results[idx] = TaskResult{Task: t, Err: err}
+				return
+			}
+			series, err := sweep.AggregateRecords(recs)
+			results[idx] = TaskResult{Task: t, Series: series, Err: err}
+		}(idx, t, batch)
+	}
+
+	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return results, ctx.Err()
+	}
+	if ckErr != nil {
+		return results, fmt.Errorf("pipeline completed but checkpointing failed: %w", ckErr)
+	}
+	return results, nil
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dragonfly/internal/sim"
+	"dragonfly/internal/sweep"
+)
+
+// testOptions shrinks the pipeline to a laptop-second scale: a 72-node
+// network, short phases, three mechanisms, two loads, one seed — 42
+// owned simulations (fig3 derives from fig2c), every figure kind
+// represented.
+func testOptions() (sim.Config, Options) {
+	base := sim.DefaultConfig() // balanced h=2
+	base.WarmupCycles = 200
+	base.MeasureCycles = 400
+	return base, Options{
+		Loads:      []float64{0.1, 0.2},
+		Seeds:      []uint64{1},
+		FairLoad:   0.2,
+		Mechanisms: []string{"MIN", "Obl-RRG", "In-Trns-MM"},
+	}
+}
+
+// seriesOf projects results to the comparable payload (task name → series).
+func seriesOf(t *testing.T, results []TaskResult) map[string][]sweep.Series {
+	t.Helper()
+	out := make(map[string][]sweep.Series, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %s: %v", r.Task.Name, r.Err)
+		}
+		if r.Series == nil {
+			t.Fatalf("task %s: no series", r.Task.Name)
+		}
+		out[r.Task.Name] = r.Series
+	}
+	return out
+}
+
+func TestPipelineBuild(t *testing.T) {
+	base, opt := testOptions()
+	p := Build(base, opt)
+	names := make([]string, len(p.Tasks))
+	for i, task := range p.Tasks {
+		names[i] = task.Name
+	}
+	want := []string{"fig2a", "fig2b", "fig2c", "fig5a", "fig5b", "fig5c", "fig3", "fig4", "fig6", "ext-age"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("tasks %v, want %v", names, want)
+	}
+	for i := 1; i < len(p.Tasks); i++ {
+		if p.Tasks[i].Priority >= p.Tasks[i-1].Priority {
+			t.Fatalf("priorities not strictly descending: %s=%d, %s=%d",
+				p.Tasks[i-1].Name, p.Tasks[i-1].Priority, p.Tasks[i].Name, p.Tasks[i].Priority)
+		}
+	}
+	// MIN must be excluded from the fairness tasks, as in the paper.
+	for _, task := range p.Tasks {
+		if task.Kind != FairnessTables {
+			continue
+		}
+		for _, m := range task.Grid.Mechanisms {
+			if m == "MIN" {
+				t.Fatalf("task %s sweeps MIN", task.Name)
+			}
+		}
+	}
+	// 6 curve tasks × (3 mech × 2 loads) + 3 fairness tasks × 2 non-MIN
+	// mechanisms = 42. fig3 is derived from fig2c (In-Trns-MM is swept)
+	// and owns no simulations.
+	if p.TotalPoints() != 42 {
+		t.Fatalf("TotalPoints = %d, want 42", p.TotalPoints())
+	}
+	if fig3 := p.taskByName("fig3"); fig3 == nil || fig3.deriveFrom == nil || fig3.deriveFrom.Name != "fig2c" {
+		t.Fatal("fig3 is not derived from fig2c despite In-Trns-MM being swept")
+	}
+
+	// Without In-Trns-MM in the sweep, fig3 must own its simulations.
+	o := opt
+	o.Mechanisms = []string{"MIN", "Obl-RRG"}
+	alone := Build(base, o)
+	if fig3 := alone.taskByName("fig3"); fig3 == nil || fig3.deriveFrom != nil {
+		t.Fatal("fig3 should be standalone when In-Trns-MM is not swept")
+	}
+}
+
+// A derived fig3 must render exactly what a standalone fig3 simulates:
+// the same (In-Trns-MM, ADVc) grid through the subset-of-fig2c path and
+// through its own batch must agree bit for bit.
+func TestPipelineFig3DerivationMatchesStandalone(t *testing.T) {
+	base, opt := testOptions()
+	derived := Build(base, opt) // In-Trns-MM swept → fig3 derived
+	dRes, err := derived.Run(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := opt
+	o.Mechanisms = []string{"MIN", "Obl-RRG"} // fig3 standalone
+	standalone := Build(base, o)
+	sRes, err := standalone.Run(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dFig3 := seriesOf(t, dRes)["fig3"]
+	sFig3 := seriesOf(t, sRes)["fig3"]
+	if len(dFig3) == 0 || !reflect.DeepEqual(dFig3, sFig3) {
+		t.Fatalf("derived fig3 differs from standalone:\nderived:    %+v\nstandalone: %+v", dFig3, sFig3)
+	}
+}
+
+// The pipeline smoke test of the -short tier: checkpoint write, an
+// interrupted run resumed to completion, and bit-identical results across
+// (a) worker counts and (b) the interrupt/resume split.
+func TestPipelineCheckpointResumeAndWorkers(t *testing.T) {
+	base, opt := testOptions()
+	dir := t.TempDir()
+
+	// Reference: one uninterrupted, unlimited-parallelism run.
+	ref := Build(base, opt)
+	refResults, err := ref.Run(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seriesOf(t, refResults)
+
+	// Workers 1, 2 and NumCPU must be bit-identical.
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		o := opt
+		o.Workers = workers
+		p := Build(base, o)
+		results, err := p.Run(context.Background(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := seriesOf(t, results); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d results differ from reference", workers)
+		}
+	}
+
+	// Interrupted run: cancel after a handful of completions. Bound the
+	// in-flight count so cancellation always leaves unclaimed points —
+	// on a many-core machine an unbounded run could claim (and thus
+	// complete) every point before the cancel lands.
+	ckPath := filepath.Join(dir, "checkpoint.jsonl")
+	oi := opt
+	oi.Workers = 2
+	interrupted := Build(base, oi)
+	ck, err := sweep.OpenCheckpoint(ckPath, interrupted.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, runErr := interrupted.Run(ctx, ck, func(p Progress) {
+		if p.Done >= 5 {
+			cancel()
+		}
+	})
+	cancel()
+	if runErr != context.Canceled {
+		t.Fatalf("interrupted Run returned %v, want context.Canceled", runErr)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	partial := countRecords(t, ckPath)
+	if partial < 5 || partial >= interrupted.TotalPoints() {
+		t.Fatalf("checkpoint holds %d records after interrupt, want a strict subset ≥ 5 of %d",
+			partial, interrupted.TotalPoints())
+	}
+
+	// Resume: the same pipeline completes from the checkpoint, skipping
+	// finished work, and the results match the uninterrupted reference
+	// bit for bit.
+	resumed := Build(base, opt)
+	ck2, err := sweep.OpenCheckpoint(ckPath, resumed.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != partial {
+		t.Fatalf("reloaded %d records, want %d", ck2.Len(), partial)
+	}
+	var sawRestored atomic.Bool
+	results, err := resumed.Run(context.Background(), ck2, func(p Progress) {
+		if p.Restored > 0 {
+			sawRestored.Store(true)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawRestored.Load() {
+		t.Fatal("resume did not restore any checkpointed point")
+	}
+	if got := seriesOf(t, results); !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed results differ from the uninterrupted reference")
+	}
+	if countRecords(t, ckPath) != resumed.TotalPoints() {
+		t.Fatalf("completed checkpoint holds %d records, want %d",
+			countRecords(t, ckPath), resumed.TotalPoints())
+	}
+}
+
+// A checkpoint from a different configuration must be refused.
+func TestPipelineCheckpointConfigGuard(t *testing.T) {
+	base, opt := testOptions()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	p := Build(base, opt)
+	ck, err := sweep.OpenCheckpoint(path, p.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	other := base
+	other.MeasureCycles += 100
+	if _, err := sweep.OpenCheckpoint(path, Build(other, opt).Fingerprint()); err == nil {
+		t.Fatal("checkpoint from a different configuration accepted")
+	}
+}
+
+func countRecords(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n - 1 // meta line
+}

@@ -215,13 +215,19 @@ func watchdog(net *Network, now, lastSeen int64) (int64, error) {
 // written at least one cycle ahead, and all scheduler mutation (wake
 // draining, sleeps, calendar pops) happens on the coordinator between
 // barriers, so the result is identical to the sequential engine.
+//
+// Shards are re-partitioned by recent router activity every
+// rebalanceInterval cycles (see partition.go): under adversarial patterns
+// the active routers cluster, and a static id split would leave most
+// workers idle while one steps the hot group. Re-partitioning happens on
+// the coordinator between cycles and keeps spans contiguous and ascending,
+// so results stay bit-identical to the sequential engine for any worker
+// count.
 func runParallel(net *Network, warmup, total int64, workers int) error {
 	n := len(net.Routers)
-	type span struct{ lo, hi int }
-	shards := make([]span, workers)
-	for w := 0; w < workers; w++ {
-		shards[w] = span{lo: w * n / workers, hi: (w + 1) * n / workers}
-	}
+	weight := make([]int64, n) // router-steps, halved at each re-partition
+	shards := balancedSpans(weight, workers, make([]span, 0, workers))
+	spare := make([]span, 0, workers) // second buffer; swaps with shards
 	groups := net.Topo.NumGroups()
 	gShards := make([]span, workers)
 	for w := 0; w < workers; w++ {
@@ -236,18 +242,26 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 	// Workers may not touch the shared calendar or another shard's
 	// routers, so each router's event sink appends to its shard's buffer
 	// and the per-router internal event horizon goes into wakeAt; the
-	// coordinator routes and drains both between barriers.
+	// coordinator routes and drains both between barriers. Sinks follow
+	// the shard map: assignSinks reruns after every re-partition, between
+	// cycles, so each buffer keeps a single writer per phase.
 	wbuf := make([][]router.LinkEvent, workers)
 	wakeAt := make([]int64, n)
+	sinkFns := make([]func(router.LinkEvent), workers)
 	for w := 0; w < workers; w++ {
 		buf := &wbuf[w]
-		sink := func(ev router.LinkEvent) {
+		sinkFns[w] = func(ev router.LinkEvent) {
 			*buf = append(*buf, ev)
 		}
-		for r := shards[w].lo; r < shards[w].hi; r++ {
-			net.Routers[r].SetEventSink(sink)
+	}
+	assignSinks := func() {
+		for w := 0; w < workers; w++ {
+			for r := shards[w].lo; r < shards[w].hi; r++ {
+				net.Routers[r].SetEventSink(sinkFns[w])
+			}
 		}
 	}
+	assignSinks()
 	defer func() {
 		for _, r := range net.Routers {
 			r.SetEventSink(nil)
@@ -310,6 +324,19 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 	for now := int64(0); now < total; now++ {
 		// Workers are quiescent between cycles, so the coordinator may
 		// touch router and scheduler state here.
+		if now > 0 && now%rebalanceInterval == 0 {
+			if fresh := balancedSpans(weight, workers, spare); !spansEqual(fresh, shards) {
+				shards, spare = fresh, shards[:0]
+				assignSinks()
+			} else {
+				spare = fresh[:0]
+			}
+			// Halve rather than reset: load shifts are tracked with a
+			// little hysteresis instead of re-cutting on one quiet window.
+			for r := range weight {
+				weight[r] >>= 1
+			}
+		}
 		setPhase(net, now, warmup, measure, &batch)
 		sched.wakeDue(now)
 		next := 0
@@ -344,6 +371,7 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 		for w := 0; w < workers; w++ {
 			for _, r := range lists[w] {
 				sched.settle(net, r, now, wakeAt[r])
+				weight[r]++
 				if pbDirty != nil {
 					pbDirty[net.Topo.RouterGroup(r)] = true
 				}
@@ -402,7 +430,6 @@ func runSequentialRef(net *Network, warmup, total int64) error {
 // runParallelRef is the dense seed parallel engine (full shards, barrier
 // per phase), kept as the reference for the parallel scheduler path.
 func runParallelRef(net *Network, warmup, total int64, workers int) error {
-	type span struct{ lo, hi int }
 	shards := make([]span, workers)
 	n := len(net.Routers)
 	for w := 0; w < workers; w++ {

@@ -1,0 +1,69 @@
+package sim
+
+// Activity-balanced shard partitioning for the parallel engine. The
+// parallel engines split routers into one contiguous id-span per worker;
+// splitting by id count alone skews shard loads under adversarial
+// patterns, where the active routers cluster (the bottleneck group and its
+// Valiant intermediaries), leaving some workers stepping almost nothing
+// while one does most of the cycle. balancedSpans instead cuts the id line
+// so every span carries a near-equal share of observed router activity.
+//
+// Spans stay contiguous and ascending on purpose: the engine's event
+// routing drains worker buffers in worker order and each worker steps its
+// routers in ascending id, so with contiguous ascending spans the global
+// event order is ascending sender id — exactly the sequential engine's
+// order — for any partition. Re-partitioning therefore cannot perturb
+// results; the bit-identity across Workers 1/2/N is preserved by
+// construction (and enforced by the cross-engine tests).
+
+// span is one worker's contiguous router-id range [lo, hi).
+type span struct{ lo, hi int }
+
+// rebalanceInterval is how many cycles of activity are observed between
+// shard re-partitions. Long enough to amortize the sink reassignment,
+// short enough to chase a bottleneck group that wakes mid-run.
+const rebalanceInterval = 256
+
+// balancedSpans cuts [0,len(weight)) into `workers` contiguous spans whose
+// cumulative weight+1 shares are as even as a left-to-right sweep allows
+// (+1 so fully idle stretches still spread over workers instead of
+// collapsing into one span). The result is appended to buf (reset first)
+// so the engine can reuse one backing array. Always returns exactly
+// `workers` spans covering [0,n); trailing spans may be empty.
+func balancedSpans(weight []int64, workers int, buf []span) []span {
+	n := len(weight)
+	total := int64(n)
+	for _, w := range weight {
+		total += w
+	}
+	buf = buf[:0]
+	lo := 0
+	var acc int64
+	for r := 0; r < n; r++ {
+		acc += weight[r] + 1
+		// Close the current span once its cumulative share reaches its
+		// proportional target share of the total.
+		if len(buf) < workers-1 && acc*int64(workers) >= total*int64(len(buf)+1) {
+			buf = append(buf, span{lo: lo, hi: r + 1})
+			lo = r + 1
+		}
+	}
+	buf = append(buf, span{lo: lo, hi: n})
+	for len(buf) < workers {
+		buf = append(buf, span{lo: n, hi: n})
+	}
+	return buf
+}
+
+// spansEqual reports whether two partitions are identical.
+func spansEqual(a, b []span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

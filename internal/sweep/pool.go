@@ -1,0 +1,380 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// The sweep worker pool. One persistent, process-wide pool executes every
+// multi-run entry point of the simulator — load sweeps (Grid.Run), seed
+// replicas, solo/paired interference runs and the dfexperiments figure
+// pipeline all submit whole simulation runs here, so the machine is never
+// oversubscribed by independent sweeps racing each other, and a
+// higher-priority batch (an interactive sweep) overtakes bulk work (a
+// paper-scale figure regeneration) at the next task boundary.
+//
+// Invariants:
+//
+//   - Tasks of one batch are handed out strictly in index order, so any
+//     caller that writes task i's outcome into slot i of a pre-sized slice
+//     gets deterministic, worker-count-independent results.
+//   - Between batches, the pool picks the highest Priority first (ties:
+//     submission order), at task granularity — a running task is never
+//     preempted.
+//   - Run executes tasks on the submitting goroutine too (it "helps" its
+//     own batch), so a nested Run issued from inside a pool task always
+//     makes progress even when every pool worker is busy: the pool cannot
+//     deadlock on nesting, and a MaxParallel=1 batch is truly serial.
+//     One exception: a nested Run must not share a Limit with an ancestor
+//     batch — the ancestor's task holds a limit slot while it waits, so a
+//     saturated shared Limit can never clear (see Limit).
+//
+// Cancellation is cooperative at task granularity: cancelling a batch
+// stops handing out its remaining tasks, while already-running tasks
+// complete normally (a simulation is not interrupted mid-run; combined
+// with checkpointing this is what makes an interrupted pipeline resumable
+// without torn state).
+
+// Pool is a persistent worker pool for whole simulation runs. The zero
+// value is not usable; construct with NewPool or use Shared.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	batches []*Batch // open batches; pick scans for the best claimable
+	seq     uint64
+	workers int
+	closed  bool
+}
+
+// Batch is a submitted group of tasks. It is created by Pool.Submit and
+// observed through Wait/Cancel/Done.
+type Batch struct {
+	fn       func(int)
+	total    int    // original task count (for progress reporting)
+	bound    int    // claim bound: == total, shrunk to next by Cancel
+	next     int    // next index to hand out
+	inflight int    // claimed and currently executing
+	done     int    // completed
+	max      int    // max concurrently executing tasks of this batch
+	limit    *Limit // optional cross-batch concurrency bound
+	pri      int
+	seq      uint64
+	progress func(done, total int)
+	finished chan struct{}
+	finSent  bool
+}
+
+// Limit bounds concurrently executing tasks across several batches of one
+// pool — the cross-batch counterpart of RunOpts.MaxParallel. A pipeline
+// that submits many batches shares one Limit so a user-facing "-jobs N"
+// bound holds over the whole pipeline, not per batch. Construct with
+// NewLimit. Two rules: a Limit must only be used with batches of a single
+// pool (its counter is guarded by that pool's lock), and only with
+// batches at the same nesting level — work submitted from inside a task
+// that already holds a slot of the same Limit would wait for a slot its
+// ancestor cannot release, deadlocking both batches.
+type Limit struct {
+	cap      int
+	inflight int
+}
+
+// NewLimit returns a Limit allowing at most cap concurrently executing
+// tasks among the batches it is attached to (cap <= 0: unlimited, nil is
+// equivalent).
+func NewLimit(cap int) *Limit {
+	if cap <= 0 {
+		return nil
+	}
+	return &Limit{cap: cap}
+}
+
+// ok reports whether another task may start under the limit. Must hold
+// the owning pool's lock.
+func (l *Limit) ok() bool { return l == nil || l.inflight < l.cap }
+
+// RunOpts configures one batch submission.
+type RunOpts struct {
+	// Priority orders batches competing for workers: higher runs first.
+	// Ties are broken by submission order. The default 0 is the bulk
+	// tier; interactive tools may submit above it.
+	Priority int
+	// MaxParallel bounds how many tasks of this batch execute
+	// concurrently (<= 0: no batch-level bound — the pool width is the
+	// only limit). Sweeps over large networks use it to bound resident
+	// Network instances.
+	MaxParallel int
+	// Limit, when non-nil, additionally bounds concurrency across every
+	// batch sharing it (see Limit).
+	Limit *Limit
+	// Progress, when non-nil, is called after every completed task with
+	// (done, total). It may be called concurrently from several workers
+	// and must not submit to the pool.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels the batch: remaining tasks are
+	// dropped (running ones complete) and Run/Wait return ctx.Err().
+	Context context.Context
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (negative: NumCPU). A zero-worker pool is legal: Run still completes
+// batches on the submitting goroutine (useful for strictly serial runs).
+func NewPool(workers int) *Pool {
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool (NumCPU workers). Every multi-run
+// entry point of the module — Grid.Run, RunTasks and with them the
+// interference APIs and the dfexperiments pipeline — schedules through it,
+// so concurrent sweeps share one machine-wide scheduler instead of each
+// spawning its own goroutine army.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(runtime.NumCPU()) })
+	return sharedPool
+}
+
+// Workers returns the pool's worker goroutine count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the worker goroutines once the queue drains. It is intended
+// for throwaway pools in tests; the shared pool is never closed. Batches
+// must not be submitted after Close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Submit enqueues fn(0..n-1) as a batch and returns immediately. The
+// caller must eventually Wait. On a zero-worker pool a submitted batch
+// only advances while some goroutine Runs or Waits on it (Wait does not
+// help; prefer Run unless overlapping several batches).
+func (p *Pool) Submit(n int, opts RunOpts, fn func(i int)) *Batch {
+	b := &Batch{
+		fn:       fn,
+		total:    n,
+		bound:    n,
+		max:      opts.MaxParallel,
+		limit:    opts.Limit,
+		pri:      opts.Priority,
+		progress: opts.Progress,
+		finished: make(chan struct{}),
+	}
+	if b.max <= 0 || b.max > n {
+		b.max = n
+	}
+	p.mu.Lock()
+	b.seq = p.seq
+	p.seq++
+	if n == 0 {
+		b.finSent = true
+		p.mu.Unlock()
+		close(b.finished)
+		return b
+	}
+	p.batches = append(p.batches, b)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if ctx := opts.Context; ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.CancelBatch(b)
+			case <-b.finished:
+			}
+		}()
+	}
+	return b
+}
+
+// Run executes fn(i) for every i in [0,n) on the pool at the options'
+// priority and blocks until the batch completes or opts.Context is
+// cancelled (returning ctx.Err() if any task was dropped). The calling
+// goroutine participates in executing its own batch.
+func (p *Pool) Run(n int, opts RunOpts, fn func(i int)) error {
+	b := p.Submit(n, opts, fn)
+	p.help(b)
+	return b.Wait(opts.Context)
+}
+
+// Wait blocks until the batch has no outstanding tasks: all completed, or
+// cancelled with the running remainder drained (a batch submitted with a
+// Context is cancelled by it — see Submit — so Wait never hangs on a dead
+// context). It returns ctx.Err() when the batch fell short of completion,
+// nil otherwise. A nil ctx is allowed.
+func (b *Batch) Wait(ctx context.Context) error {
+	<-b.finished
+	if b.done < b.total {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return context.Canceled
+	}
+	return nil
+}
+
+// Done reports how many tasks of the batch have completed.
+func (b *Batch) Done() int {
+	select {
+	case <-b.finished:
+		return b.done
+	default:
+	}
+	return -1 // still running; exact count is owned by the pool lock
+}
+
+// CancelBatch stops handing out the batch's remaining tasks. Running tasks
+// complete; Wait then returns.
+func (p *Pool) CancelBatch(b *Batch) {
+	p.mu.Lock()
+	fin := p.cancelLocked(b)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if fin {
+		close(b.finished)
+	}
+}
+
+// cancelLocked shrinks the batch's claim bound to what is already claimed
+// and reports whether the caller must close b.finished.
+func (p *Pool) cancelLocked(b *Batch) bool {
+	if b.bound > b.next {
+		b.bound = b.next
+	}
+	return p.finishLocked(b)
+}
+
+// finishLocked detects batch completion (all claimable tasks claimed and
+// completed), removes the batch from the open list, and reports whether
+// the caller must close b.finished. Must hold p.mu.
+func (p *Pool) finishLocked(b *Batch) bool {
+	if b.finSent || b.next < b.bound || b.done < b.next {
+		return false
+	}
+	b.finSent = true
+	for i, ob := range p.batches {
+		if ob == b {
+			p.batches = append(p.batches[:i], p.batches[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// pick returns the best claimable batch — highest priority, then earliest
+// submitted — or nil. Must hold p.mu.
+func (p *Pool) pick() *Batch {
+	var best *Batch
+	for _, b := range p.batches {
+		if b.next >= b.bound || b.inflight >= b.max || !b.limit.ok() {
+			continue
+		}
+		if best == nil || b.pri > best.pri || (b.pri == best.pri && b.seq < best.seq) {
+			best = b
+		}
+	}
+	return best
+}
+
+// worker is the loop of one pool goroutine.
+func (p *Pool) worker() {
+	p.mu.Lock()
+	for {
+		b := p.pick()
+		if b == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		i := p.claim(b)
+		p.mu.Unlock()
+		b.fn(i)
+		p.taskDone(b)
+		p.mu.Lock()
+	}
+}
+
+// claim hands out the batch's next task index. Must hold p.mu; the caller
+// must have checked claimability.
+func (p *Pool) claim(b *Batch) int {
+	i := b.next
+	b.next++
+	b.inflight++
+	if b.limit != nil {
+		b.limit.inflight++
+	}
+	return i
+}
+
+// help lets the submitting goroutine execute tasks of its own batch until
+// none remain claimable, waiting out phases where the batch is saturated
+// at MaxParallel or its cross-batch Limit.
+func (p *Pool) help(b *Batch) {
+	p.mu.Lock()
+	for {
+		if b.next >= b.bound {
+			break
+		}
+		if b.inflight >= b.max || !b.limit.ok() {
+			p.cond.Wait()
+			continue
+		}
+		i := p.claim(b)
+		p.mu.Unlock()
+		b.fn(i)
+		p.taskDone(b)
+		p.mu.Lock()
+	}
+	p.mu.Unlock()
+}
+
+// taskDone records one completed task and fires completion/progress.
+func (p *Pool) taskDone(b *Batch) {
+	p.mu.Lock()
+	b.inflight--
+	if b.limit != nil {
+		b.limit.inflight--
+	}
+	b.done++
+	d := b.done
+	fin := p.finishLocked(b)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if b.progress != nil {
+		b.progress(d, b.total)
+	}
+	if fin {
+		close(b.finished)
+	}
+}
+
+// RunTasks executes fn(i) for every i in [0,n) on the shared pool with at
+// most `workers` tasks in flight (0 or negative: no batch-level bound) and
+// blocks until all calls return. Tasks are handed out dynamically in index
+// order, so uneven task costs (saturated simulations next to idle ones)
+// keep every worker busy. It is the compatibility wrapper over
+// Shared().Run for callers without priorities or cancellation: load
+// sweeps, seed replicas and the interference matrix all ride on it.
+func RunTasks(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	Shared().Run(n, RunOpts{MaxParallel: workers}, fn)
+}

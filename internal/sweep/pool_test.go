@@ -1,0 +1,234 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A single-worker pool must drain a higher-priority batch before touching
+// a lower-priority one submitted earlier.
+func TestPoolPriorityOrder(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) func(int) {
+		return func(int) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+
+	// Stall the worker so both batches are queued before any task runs.
+	gate := make(chan struct{})
+	stall := p.Submit(1, RunOpts{Priority: 100}, func(int) { <-gate })
+	// Wait until the worker has claimed the stall task, or the batches
+	// below could be picked first.
+	for {
+		time.Sleep(time.Millisecond)
+		p.mu.Lock()
+		claimed := stall.next == 1
+		p.mu.Unlock()
+		if claimed {
+			break
+		}
+	}
+
+	low := p.Submit(3, RunOpts{Priority: 1}, record("low"))
+	high := p.Submit(3, RunOpts{Priority: 2}, record("high"))
+	close(gate)
+	if err := stall.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := low.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := high.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{"high", "high", "high", "low", "low", "low"}
+	for i, tag := range want {
+		if order[i] != tag {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// Cancelling a batch mid-run stops the remaining tasks; Run reports the
+// context error and the completed count stays consistent.
+func TestPoolCancellation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 1000
+	err := p.Run(n, RunOpts{Context: ctx}, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n || got < 10 {
+		t.Fatalf("ran %d tasks of %d; cancellation had no effect", got, n)
+	}
+}
+
+// A task that itself submits a nested Run must complete even when the
+// nested batch finds every pool worker busy: the submitting goroutine
+// executes its own tasks.
+func TestPoolNestedRunNoDeadlock(t *testing.T) {
+	p := NewPool(1) // one worker: the nested Run can never get a worker
+	defer p.Close()
+
+	var inner atomic.Int64
+	err := p.Run(1, RunOpts{}, func(int) {
+		p.Run(8, RunOpts{}, func(int) { inner.Add(1) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Load() != 8 {
+		t.Fatalf("nested batch ran %d tasks, want 8", inner.Load())
+	}
+}
+
+// A zero-worker pool still completes Run batches on the caller, strictly
+// serially.
+func TestPoolZeroWorkersSerial(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+
+	var cur, max, count int64
+	err := p.Run(16, RunOpts{}, func(int) {
+		c := atomic.AddInt64(&cur, 1)
+		if c > atomic.LoadInt64(&max) {
+			atomic.StoreInt64(&max, c)
+		}
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&cur, -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 || max != 1 {
+		t.Fatalf("count %d (want 16), max concurrency %d (want 1)", count, max)
+	}
+}
+
+// MaxParallel bounds in-flight tasks of a batch even when the pool has
+// idle workers.
+func TestPoolMaxParallel(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+
+	var cur, max int64
+	err := p.Run(64, RunOpts{MaxParallel: 2}, func(int) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			m := atomic.LoadInt64(&max)
+			if c <= m || atomic.CompareAndSwapInt64(&max, m, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt64(&cur, -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&max); got > 2 {
+		t.Fatalf("observed %d concurrent tasks, MaxParallel was 2", got)
+	}
+}
+
+// A shared Limit bounds concurrency across batches: many batches on a
+// wide pool must never exceed it in total, and every task still runs.
+func TestPoolLimitAcrossBatches(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+
+	lim := NewLimit(2)
+	var cur, max, count int64
+	body := func(int) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			m := atomic.LoadInt64(&max)
+			if c <= m || atomic.CompareAndSwapInt64(&max, m, c) {
+				break
+			}
+		}
+		atomic.AddInt64(&count, 1)
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt64(&cur, -1)
+	}
+	batches := make([]*Batch, 5)
+	for i := range batches {
+		batches[i] = p.Submit(10, RunOpts{Priority: i, Limit: lim}, body)
+	}
+	for _, b := range batches {
+		if err := b.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 50 {
+		t.Fatalf("%d tasks ran, want 50", count)
+	}
+	if got := atomic.LoadInt64(&max); got > 2 {
+		t.Fatalf("observed %d concurrent tasks across batches, Limit was 2", got)
+	}
+	if NewLimit(0) != nil || NewLimit(-3) != nil {
+		t.Fatal("non-positive caps must yield the nil (unlimited) Limit")
+	}
+}
+
+// Progress fires once per task with the batch total.
+func TestPoolProgress(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	var calls atomic.Int64
+	err := p.Run(25, RunOpts{Progress: func(done, total int) {
+		calls.Add(1)
+		if total != 25 {
+			t.Errorf("progress total = %d, want 25", total)
+		}
+	}}, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 25 {
+		t.Fatalf("progress called %d times, want 25", calls.Load())
+	}
+}
+
+// Tasks are handed out in index order, so slot-indexed writes are complete
+// and each index runs exactly once, for any worker/MaxParallel mix.
+func TestPoolCoversAllIndices(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	for _, par := range []int{0, 1, 5, 64} {
+		const n = 57
+		var hits [n]atomic.Int64
+		if err := p.Run(n, RunOpts{MaxParallel: par}, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("MaxParallel=%d: index %d executed %d times", par, i, got)
+			}
+		}
+	}
+	if err := p.Run(0, RunOpts{}, func(int) { t.Fatal("fn called for empty batch") }); err != nil {
+		t.Fatal(err)
+	}
+}

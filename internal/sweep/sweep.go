@@ -1,53 +1,29 @@
-// Package sweep runs families of simulations — load sweeps over mechanism ×
-// pattern × seed grids — on a worker pool, and aggregates seed replicas the
-// way the paper does ("curves present the average of 3 different
-// simulations", Section IV-A).
+// Package sweep schedules families of simulations and aggregates their
+// results. It has three layers:
+//
+//   - Pool (pool.go): the persistent, process-wide worker pool every
+//     multi-run entry point shares — whole simulation runs as tasks, with
+//     batch priorities, per-batch parallelism bounds, progress callbacks
+//     and cooperative cancellation.
+//   - Grid: load sweeps over mechanism × pattern × load × seed grids,
+//     aggregated into seed-averaged Series the way the paper does
+//     ("curves present the average of 3 different simulations",
+//     Section IV-A).
+//   - Record/Checkpoint (checkpoint.go): portable per-run outcomes
+//     persisted as append-only JSONL so interrupted sweeps resume.
+//
+// Invariant: results never depend on scheduling. Tasks are handed out in
+// index order into index-addressed slots and aggregation folds those slots
+// in order, so any worker count — and any interrupt/resume split — yields
+// bit-identical output.
 package sweep
 
 import (
-	"fmt"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 )
-
-// RunTasks executes fn(i) for every i in [0,n) on a pool of workers
-// goroutines (0 or negative: NumCPU, capped at n) and blocks until all
-// calls return. Tasks are handed out dynamically, so uneven task costs
-// (saturated simulations next to idle ones) keep every worker busy. It is
-// the package's generic worker pool: load sweeps, seed replicas and the
-// interference matrix all ride on it.
-func RunTasks(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
 
 // Point identifies one simulation in a sweep.
 type Point struct {
@@ -106,109 +82,58 @@ func (g *Grid) Points() []Point {
 	return pts
 }
 
-// Run executes every point of the grid on a worker pool and returns the
-// samples in the same deterministic order as Points. A per-point error
-// (e.g. a routing deadlock detected by the watchdog) is recorded in the
-// sample, not fatal to the sweep. The optional progress callback is invoked
-// after each completed simulation with (done, total).
+// RunPoint executes one simulation point of the grid synchronously: the
+// base config with the point's mechanism/pattern/load/seed substituted.
+// Callers that schedule points themselves (the checkpoint/resume pipeline)
+// use it as the per-task body.
+func (g *Grid) RunPoint(pt Point) Sample {
+	cfg := g.Base
+	cfg.Mechanism = pt.Mechanism
+	cfg.Pattern = pt.Pattern
+	cfg.Load = pt.Load
+	cfg.Seed = pt.Seed
+	res, err := sim.Run(cfg)
+	return Sample{Point: pt, Result: res, Err: err}
+}
+
+// Run executes every point of the grid on the shared sweep pool and
+// returns the samples in the same deterministic order as Points. A
+// per-point error (e.g. a routing deadlock detected by the watchdog) is
+// recorded in the sample, not fatal to the sweep. The optional progress
+// callback is invoked after each completed simulation with (done, total).
 func (g *Grid) Run(progress func(done, total int)) []Sample {
+	samples, _ := g.RunCtx(nil, 0, progress)
+	return samples
+}
+
+// RunCtx is Run with a cancellation context and a pool priority. On
+// cancellation it returns ctx.Err() along with the samples completed so
+// far (unfinished slots carry a zero Sample).
+func (g *Grid) RunCtx(ctx context.Context, priority int, progress func(done, total int)) ([]Sample, error) {
 	pts := g.Points()
 	out := make([]Sample, len(pts))
-	var (
-		done int
-		mu   sync.Mutex
-	)
-	RunTasks(len(pts), g.Workers, func(i int) {
-		cfg := g.Base
-		cfg.Mechanism = pts[i].Mechanism
-		cfg.Pattern = pts[i].Pattern
-		cfg.Load = pts[i].Load
-		cfg.Seed = pts[i].Seed
-		res, err := sim.Run(cfg)
-		out[i] = Sample{Point: pts[i], Result: res, Err: err}
-		if progress != nil {
-			mu.Lock()
-			done++
-			d := done
-			mu.Unlock()
-			progress(d, len(pts))
-		}
+	err := Shared().Run(len(pts), RunOpts{
+		Priority:    priority,
+		MaxParallel: g.Workers,
+		Progress:    progress,
+		Context:     ctx,
+	}, func(i int) {
+		out[i] = g.RunPoint(pts[i])
 	})
-	return out
+	return out, err
 }
 
 // Aggregate folds samples into seed-averaged series, sorted by
 // (mechanism, pattern, load). Samples with errors are skipped; the returned
-// error reports the first failure encountered, if any.
+// error reports the first failure encountered, if any. It is the Sample
+// form of AggregateRecords, and bit-identical to it: condensing a sample
+// to its Record loses nothing aggregation reads.
 func Aggregate(samples []Sample) ([]Series, error) {
-	type key struct {
-		mech, pat string
-		load      float64
+	records := make([]Record, len(samples))
+	for i, s := range samples {
+		records[i] = RecordOf("", s)
 	}
-	acc := make(map[key]*Series)
-	var order []key
-	var firstErr error
-	for _, s := range samples {
-		if s.Err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("sweep: %s/%s@%.3g seed %d: %w",
-					s.Point.Mechanism, s.Point.Pattern, s.Point.Load, s.Point.Seed, s.Err)
-			}
-			continue
-		}
-		k := key{s.Point.Mechanism, s.Point.Pattern, s.Point.Load}
-		a, ok := acc[k]
-		if !ok {
-			a = &Series{
-				Mechanism:  s.Result.Mechanism,
-				Pattern:    s.Result.Pattern,
-				Load:       s.Point.Load,
-				Injections: make([]float64, len(s.Result.PerRouter)),
-			}
-			acc[k] = a
-			order = append(order, k)
-		}
-		a.Seeds++
-		a.Throughput += s.Result.Throughput()
-		a.AvgLatency += s.Result.AvgLatency()
-		b := s.Result.Breakdown()
-		a.Breakdown.Base += b.Base
-		a.Breakdown.Misroute += b.Misroute
-		a.Breakdown.WaitLocal += b.WaitLocal
-		a.Breakdown.WaitGlobal += b.WaitGlobal
-		a.Breakdown.WaitInj += b.WaitInj
-		for i, inj := range s.Result.Injections() {
-			a.Injections[i] += float64(inj)
-		}
-	}
-	series := make([]Series, 0, len(acc))
-	for _, k := range order {
-		a := acc[k]
-		n := float64(a.Seeds)
-		a.Throughput /= n
-		a.AvgLatency /= n
-		a.Breakdown.Base /= n
-		a.Breakdown.Misroute /= n
-		a.Breakdown.WaitLocal /= n
-		a.Breakdown.WaitGlobal /= n
-		a.Breakdown.WaitInj /= n
-		for i := range a.Injections {
-			a.Injections[i] /= n
-		}
-		a.Fairness = fairnessOfMeans(a.Injections)
-		series = append(series, *a)
-	}
-	sort.Slice(series, func(i, j int) bool {
-		a, b := series[i], series[j]
-		if a.Mechanism != b.Mechanism {
-			return a.Mechanism < b.Mechanism
-		}
-		if a.Pattern != b.Pattern {
-			return a.Pattern < b.Pattern
-		}
-		return a.Load < b.Load
-	})
-	return series, firstErr
+	return AggregateRecords(records)
 }
 
 // fairnessOfMeans computes the fairness metrics on seed-averaged,
