@@ -47,6 +47,7 @@ import (
 	"dragonfly/internal/report"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sweep"
+	"dragonfly/internal/topology"
 )
 
 func main() {
@@ -59,6 +60,9 @@ func main() {
 	skipSweeps := fs.Bool("skip-sweeps", false, "skip the Figure 2/3/5 load sweeps (fairness only)")
 	mechs := fs.String("mechanisms", strings.Join(experiments.PaperMechanisms, ","),
 		"mechanisms to sweep ("+strings.Join(routing.Names(), ", ")+")")
+	latModels := fs.String("latency-models", "",
+		"comma-separated latency models to sweep as an extra axis ("+strings.Join(topology.KnownLatencyModels(), ", ")+
+			"); overrides -latency-model, non-uniform tasks are suffixed @<model> and compose with -checkpoint resume")
 	jobs := fs.Int("jobs", 0, "concurrent simulations (0 = NumCPU)")
 	ckPath := fs.String("checkpoint", "",
 		"checkpoint file for interrupt/resume (default <out>/checkpoint.jsonl when -out is set; \"off\" disables)")
@@ -79,6 +83,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The latency axis is resolved — and typos rejected — at flag time,
+	// from the same class latencies the single -latency-model flag uses.
+	var models []topology.LatencyModel
+	for _, name := range cli.SplitList(*latModels) {
+		m, err := topology.LatencyModelByName(name, base.Router.LocalLatency, base.Router.GlobalLatency)
+		if err != nil {
+			fatal(err)
+		}
+		models = append(models, m)
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
@@ -86,12 +100,13 @@ func main() {
 	}
 
 	pipe := experiments.Build(base, experiments.Options{
-		Loads:      loadList,
-		Seeds:      cli.ParseSeeds(base.Seed, *seeds),
-		FairLoad:   *fairLoad,
-		SkipSweeps: *skipSweeps,
-		Mechanisms: mechList,
-		Workers:    *jobs,
+		Loads:         loadList,
+		Seeds:         cli.ParseSeeds(base.Seed, *seeds),
+		FairLoad:      *fairLoad,
+		SkipSweeps:    *skipSweeps,
+		Mechanisms:    mechList,
+		Workers:       *jobs,
+		LatencyModels: models,
 	})
 
 	var ck *sweep.Checkpoint

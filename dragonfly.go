@@ -37,6 +37,7 @@ package dragonfly
 import (
 	"dragonfly/internal/router"
 	"dragonfly/internal/routing"
+	"dragonfly/internal/scheduler"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
 	"dragonfly/internal/sweep"
@@ -241,6 +242,30 @@ func JobInterferenceMatrix(cfg Config, wl *workload.Workload, workers int) ([][]
 		return nil, err
 	}
 	return JobInterferenceMatrixFromSolo(cfg, wl, solo, workers)
+}
+
+// ScheduleTrace is a timed job trace for the dynamic scheduler: jobs with
+// arrival cycles, durations (cycle budgets or packets-delivered targets)
+// and workload placement/traffic specs, run under a queueing discipline
+// ("fcfs" or "backfill"). See internal/scheduler and cmd/dfsched.
+type ScheduleTrace = scheduler.Trace
+
+// ScheduleJob is one job of a ScheduleTrace.
+type ScheduleJob = scheduler.TraceJob
+
+// ScheduleResult is the outcome of RunSchedule: the network-level
+// measurement plus per-job wait/run/slowdown lifecycles and makespan.
+type ScheduleResult = scheduler.Result
+
+// RunSchedule replays a timed job trace on one simulation: arriving jobs
+// are placed with the workload allocation policies, departing jobs free
+// their routers for recycling, and each job's wait, run and slowdown are
+// recorded next to the usual metrics. Membership changes happen only
+// between cycles, so scheduled runs are deterministic in cfg.Seed and
+// bit-identical for any cfg.Workers — and a trace whose jobs all arrive at
+// cycle 0 and never depart reproduces RunWorkload exactly.
+func RunSchedule(cfg Config, trace ScheduleTrace) (*ScheduleResult, error) {
+	return scheduler.Run(cfg, trace)
 }
 
 // RunWithAppTraffic runs a simulation whose traffic is uniform inside an

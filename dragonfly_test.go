@@ -1,6 +1,10 @@
 package dragonfly
 
 import (
+	"runtime"
+
+	"dragonfly/internal/topology"
+
 	"testing"
 )
 
@@ -171,6 +175,114 @@ func TestJobInterferenceMatrix(t *testing.T) {
 					i, j, m[i][j], serial[i][j])
 			}
 		}
+	}
+}
+
+// The interference-matrix path — Subset sub-workloads included — must work
+// under non-default latency models too, not just the uniform Table I one:
+// groupskew runs of subsets stay bit-identical across engine worker counts
+// and the matrix keeps its shape invariants.
+func TestInterferenceMatrixUnderGroupSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 1000
+	cfg.LatencyModel = topology.GroupSkewLatency{Local: 10, GlobalBase: 100, GlobalStep: 20}
+	spec := WorkloadSpec{Jobs: []WorkloadJob{
+		{Name: "a", Nodes: 16, Alloc: "consecutive"},
+		{Name: "b", Nodes: 16, Alloc: "spread", FirstGroup: 4},
+		{Name: "c", Nodes: 16, Alloc: "spread", FirstGroup: 6},
+	}}
+	wl, err := CompileWorkload(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Subset runs under groupskew: bit-identical across Workers 1/2/NumCPU.
+	pair := wl.Subset(0, 2)
+	var want *Result
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		c := cfg
+		c.Workers = workers
+		res, err := RunCompiledWorkload(c, pair)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			if want.Delivered() == 0 {
+				t.Fatal("groupskew subset run delivered nothing")
+			}
+			if jt := res.JobTotal(1); jt.Delivered != 0 {
+				t.Fatalf("silenced job b delivered %d packets in the subset", jt.Delivered)
+			}
+			continue
+		}
+		for i := range want.PerRouter {
+			if want.PerRouter[i] != res.PerRouter[i] {
+				t.Fatalf("workers=%d: router %d stats diverge under groupskew", workers, i)
+			}
+			for j := range want.PerRouterJobs[i] {
+				if want.PerRouterJobs[i][j] != res.PerRouterJobs[i][j] {
+					t.Fatalf("workers=%d: router %d job %d stats diverge under groupskew", workers, i, j)
+				}
+			}
+		}
+	}
+
+	// The full matrix under groupskew keeps its invariants: diagonal 1,
+	// positive ratios, deterministic across pool widths.
+	m, err := JobInterferenceMatrix(cfg, wl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := JobInterferenceMatrix(cfg, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Errorf("diagonal [%d][%d] = %v, want 1", i, i, m[i][i])
+		}
+		for j := range m[i] {
+			if i != j && m[i][j] <= 0 {
+				t.Errorf("entry [%d][%d] = %v, want positive ratio", i, j, m[i][j])
+			}
+			if m[i][j] != serial[i][j] {
+				t.Fatalf("groupskew matrix not deterministic across pool widths at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+// RunSchedule through the public facade: the degenerate one-job trace is
+// RunWithAppTraffic's scenario as a scheduled run.
+func TestRunSchedulePublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 1000
+	res, err := RunSchedule(cfg, ScheduleTrace{
+		Discipline: "backfill",
+		Jobs: []ScheduleJob{
+			{JobSpec: WorkloadJob{Name: "app", Nodes: 24, Alloc: "consecutive"}},
+			{JobSpec: WorkloadJob{Name: "late", Nodes: 8, Alloc: "spread"},
+				Arrival: 400, Duration: 600, DurationKind: "cycles"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sim.Throughput() <= 0 {
+		t.Error("no throughput")
+	}
+	if res.Completed != 1 || res.Makespan != 1000 {
+		t.Errorf("completed %d makespan %d, want 1 completed at 1000", res.Completed, res.Makespan)
+	}
+	if res.Jobs[1].Slowdown != 1 {
+		t.Errorf("uncontended late job slowdown %v, want 1", res.Jobs[1].Slowdown)
 	}
 }
 

@@ -2,10 +2,12 @@
 // under ADVc traffic, reproducing the structure of Tables II and III and
 // evaluating the paper's proposed future work (age-based arbitration).
 //
-//	go run ./examples/fairnessstudy
+//	go run ./examples/fairnessstudy          # full study
+//	go run ./examples/fairnessstudy -short   # CI-sized
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,10 +19,19 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the study to CI size")
+	flag.Parse()
+
 	base := dragonfly.DefaultConfig()
 	base.Topology = dragonfly.Balanced(3)
 	base.WarmupCycles = 3000
 	base.MeasureCycles = 6000
+	seeds := 3
+	if *short {
+		base.WarmupCycles = 1000
+		base.MeasureCycles = 2000
+		seeds = 1
+	}
 
 	mechanisms := []string{
 		"Obl-RRG", "Obl-CRG", "Src-RRG", "Src-CRG",
@@ -43,7 +54,7 @@ func main() {
 			Mechanisms: mechanisms,
 			Patterns:   []string{"ADVc"},
 			Loads:      []float64{0.4},
-			Seeds:      cli.ParseSeeds(1, 3),
+			Seeds:      cli.ParseSeeds(1, seeds),
 		}
 		series, err := sweep.Aggregate(grid.Run(nil))
 		if err != nil {

@@ -8,10 +8,12 @@
 // group's outbound traffic all funnels through the single router that owns
 // the global links towards the next h groups.
 //
-//	go run ./examples/joballocation
+//	go run ./examples/joballocation          # full size
+//	go run ./examples/joballocation -short   # CI-sized
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,6 +21,9 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run to CI size")
+	flag.Parse()
+
 	cfg := dragonfly.DefaultConfig()
 	cfg.Topology = dragonfly.Balanced(3)
 	cfg.Mechanism = "In-Trns-MM"
@@ -27,6 +32,10 @@ func main() {
 	cfg.WarmupCycles = 3000
 	cfg.MeasureCycles = 6000
 	cfg.Workers = 4
+	if *short {
+		cfg.WarmupCycles = 500
+		cfg.MeasureCycles = 1500
+	}
 
 	h := cfg.Topology.H
 	apps := h + 1 // the allocation size that reproduces ADVc exactly

@@ -2,10 +2,12 @@
 // offered load under ADVc) at laptop scale and print the curves as an
 // ASCII chart.
 //
-//	go run ./examples/loadsweep
+//	go run ./examples/loadsweep          # full sweep
+//	go run ./examples/loadsweep -short   # CI-sized
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -17,6 +19,9 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the sweep to CI size")
+	flag.Parse()
+
 	base := dragonfly.DefaultConfig()
 	base.Topology = dragonfly.Balanced(3)
 	base.Router.Arbitration = dragonfly.TransitOverInjection
@@ -25,13 +30,20 @@ func main() {
 
 	mechanisms := []string{"MIN", "Obl-RRG", "Src-RRG", "In-Trns-MM"}
 	loads := []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.6}
+	seeds := 2
+	if *short {
+		base.WarmupCycles = 1000
+		base.MeasureCycles = 2000
+		loads = []float64{0.1, 0.3, 0.5}
+		seeds = 1
+	}
 
 	grid := sweep.Grid{
 		Base:       base,
 		Mechanisms: mechanisms,
 		Patterns:   []string{"ADVc"},
 		Loads:      loads,
-		Seeds:      cli.ParseSeeds(1, 2),
+		Seeds:      cli.ParseSeeds(1, seeds),
 	}
 	fmt.Println("sweeping", len(grid.Points()), "simulations (ADVc, transit priority)...")
 	series, err := sweep.Aggregate(grid.Run(nil))

@@ -6,10 +6,12 @@
 // pattern, with the transit-over-injection priority that triggers the
 // throughput-unfairness pathology at the bottleneck router of every group.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart          # full size
+//	go run ./examples/quickstart -short   # CI-sized
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,6 +19,9 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run to CI size")
+	flag.Parse()
+
 	cfg := dragonfly.DefaultConfig()
 	cfg.Topology = dragonfly.Balanced(3) // 19 groups, 114 routers, 342 nodes
 	cfg.Mechanism = "In-Trns-MM"
@@ -26,6 +31,10 @@ func main() {
 	cfg.WarmupCycles = 3000
 	cfg.MeasureCycles = 6000
 	cfg.Workers = 4
+	if *short {
+		cfg.WarmupCycles = 500
+		cfg.MeasureCycles = 1500
+	}
 
 	res, err := dragonfly.Run(cfg)
 	if err != nil {

@@ -1,0 +1,130 @@
+// Schedulerstudy: the paper's group-0 injection skew, replayed as a
+// scheduling problem.
+//
+// Section III shows that a job-scheduler placement on consecutive groups
+// turns uniform application traffic into ADVc: all minimal routes of a
+// group meet in the router owning the +1..+h global links, and under
+// transit-over-injection priority that router's nodes are starved of
+// injection. This example asks what that does to *job completion* when jobs
+// enter and leave the machine. A stream of identical batch jobs (each with
+// a packets-delivered target) arrives faster than it drains, so arrivals
+// queue for departures and freed allocations are recycled. Placed on
+// consecutive groups, every job manufactures its own bottleneck and its
+// starved routers throttle the packet target; placed spread, the same jobs
+// finish sooner — and because waits compound down the queue, the placement
+// gap doubles into the late-arriving jobs' turnaround tail and the makespan.
+//
+//	go run ./examples/schedulerstudy          # full study
+//	go run ./examples/schedulerstudy -short   # CI-sized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"dragonfly"
+	"dragonfly/internal/report"
+	"dragonfly/internal/workload"
+)
+
+func main() {
+	short := flag.Bool("short", false, "shrink the study to CI size")
+	flag.Parse()
+
+	cfg := dragonfly.DefaultConfig()
+	cfg.Topology = dragonfly.Balanced(3) // 19 groups, 342 nodes
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Router.Arbitration = dragonfly.TransitOverInjection // the pathology
+	cfg.Workers = 4
+	cfg.WarmupCycles = 2000
+	cfg.MeasureCycles = 10000
+	// Offered load 0.7 sits above the ADVc saturation point, and arrivals
+	// every 100 cycles exceed the machine's four concurrent 4-group slots,
+	// so late jobs queue for departures — the regime where the placement-
+	// induced run-time gap compounds down the queue into the tail.
+	load := 0.7
+	njobs, target, interval := 8, int64(6000), int64(100)
+	if *short {
+		cfg.MeasureCycles = 6000
+		njobs, target, interval = 6, 3000, 100
+	}
+
+	groups := 4 // h+1 consecutive groups: the Section III allocation
+	nodes := groups * cfg.Topology.A * cfg.Topology.P
+
+	// Part 1 — the static signature: one consecutive job, left running,
+	// shows the intra-job injection skew of Figure 4.
+	solo, err := dragonfly.RunSchedule(cfg, dragonfly.ScheduleTrace{
+		Jobs: []dragonfly.ScheduleJob{{JobSpec: workload.JobSpec{
+			Name: "app", Nodes: nodes, Alloc: workload.AllocConsecutive, Load: load,
+		}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := solo.Sim.JobFairness(0)
+	fmt.Printf("static signature: one %d-node job on %d consecutive groups, load %.1f\n", nodes, groups, load)
+	fmt.Printf("  intra-job injection skew: max/min %.2f, CoV %.3f (the Section III bottleneck)\n\n",
+		f.MaxMin, f.CoV)
+
+	// Part 2 — the same traffic as a job stream: arrivals outpace
+	// departures, so late jobs queue and recycle freed allocations.
+	run := func(alloc string) *dragonfly.ScheduleResult {
+		tr := dragonfly.ScheduleTrace{}
+		for i := 0; i < njobs; i++ {
+			tr.Jobs = append(tr.Jobs, dragonfly.ScheduleJob{
+				JobSpec: workload.JobSpec{
+					Name: fmt.Sprintf("%s%d", alloc[:4], i), Nodes: nodes, Alloc: alloc, Load: load,
+				},
+				Arrival:      interval * int64(i),
+				Duration:     target,
+				DurationKind: "packets",
+			})
+		}
+		res, err := dragonfly.RunSchedule(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	for _, alloc := range []string{workload.AllocConsecutive, workload.AllocSpread} {
+		res := run(alloc)
+		fmt.Printf("== %d-job stream, alloc=%s (target %d packets/job, arrival every %d cycles)\n",
+			njobs, alloc, target, interval)
+		fmt.Print(report.ScheduleTable(res).String())
+		fmt.Printf("completed %d/%d, makespan %d, turnaround P99 %d, slowdown P50 %.2f P99 %.2f\n\n",
+			res.Completed, len(res.Jobs), res.Makespan, turnaroundP99(res),
+			res.SlowdownQuantile(0.50), res.SlowdownQuantile(0.99))
+	}
+
+	fmt.Println("Consecutive placement makes every job rebuild the paper's bottleneck:")
+	fmt.Println("its starved routers throttle the packet target, so every run stretches;")
+	fmt.Println("late arrivals then inherit that stretch again as queueing delay, and the")
+	fmt.Println("tail turnaround and makespan grow twice over. Spread placement dissolves")
+	fmt.Println("the bottleneck, and the whole schedule tightens with it.")
+}
+
+// turnaroundP99 is the tail of completion-arrival (flow time) over
+// completed jobs — the late-arrival metric the slowdown ratio hides when
+// runs and waits stretch together.
+func turnaroundP99(res *dragonfly.ScheduleResult) int64 {
+	var flows []int64
+	for _, j := range res.Jobs {
+		if j.Completion >= 0 {
+			flows = append(flows, j.Completion-j.Arrival)
+		}
+	}
+	if len(flows) == 0 {
+		return -1
+	}
+	sort.Slice(flows, func(a, b int) bool { return flows[a] < flows[b] })
+	i := int(math.Ceil(0.99*float64(len(flows)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return flows[i]
+}

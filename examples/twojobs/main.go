@@ -11,10 +11,12 @@
 // running alone) separates placement self-harm from true inter-job
 // contention.
 //
-//	go run ./examples/twojobs
+//	go run ./examples/twojobs          # full size
+//	go run ./examples/twojobs -short   # CI-sized
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -22,6 +24,9 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the runs to CI size")
+	flag.Parse()
+
 	cfg := dragonfly.DefaultConfig()
 	cfg.Topology = dragonfly.Balanced(3)
 	cfg.Mechanism = "In-Trns-MM"
@@ -30,6 +35,10 @@ func main() {
 	cfg.WarmupCycles = 3000
 	cfg.MeasureCycles = 6000
 	cfg.Workers = 4
+	if *short {
+		cfg.WarmupCycles = 500
+		cfg.MeasureCycles = 1500
+	}
 
 	nodes := (cfg.Topology.H + 1) * cfg.Topology.A * cfg.Topology.P
 

@@ -32,6 +32,7 @@ import (
 	"dragonfly/internal/router"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/sweep"
+	"dragonfly/internal/topology"
 )
 
 // PaperMechanisms is the paper's full mechanism set, in figure-legend
@@ -105,6 +106,13 @@ type Options struct {
 	// Workers bounds concurrently running simulations across the whole
 	// pipeline (0: pool width) — the resident-Network/memory bound.
 	Workers int
+	// LatencyModels, when non-empty, adds a per-link latency model sweep
+	// axis: the whole task set is replicated once per model, producing the
+	// heterogeneous counterparts of every figure. The "uniform" model keeps
+	// the bare task names, other models suffix theirs with "@<model>" —
+	// task names are the checkpoint namespace, so an axis-less checkpoint
+	// composes with a later widened run (only the new models simulate).
+	LatencyModels []topology.LatencyModel
 }
 
 // Pipeline is the built task graph.
@@ -130,6 +138,33 @@ func Build(base sim.Config, opt Options) *Pipeline {
 	}
 
 	p := &Pipeline{base: base, workers: opt.Workers}
+	models := opt.LatencyModels
+	if len(models) == 0 {
+		models = []topology.LatencyModel{nil} // nil: keep base.LatencyModel
+	}
+	for _, lm := range models {
+		mbase := base
+		suffix := ""
+		if lm != nil {
+			mbase.LatencyModel = lm
+			if lm.Name() != "uniform" {
+				suffix = "@" + lm.Name()
+			}
+		}
+		p.buildModelTasks(mbase, suffix, opt, mechs, fairMechs)
+	}
+
+	// Paper order front to back: earlier figures complete first while the
+	// pool keeps pulling from later ones whenever a worker would idle.
+	for i, t := range p.Tasks {
+		t.Priority = len(p.Tasks) - i
+	}
+	return p
+}
+
+// buildModelTasks appends one latency model's figure/table tasks, task
+// names suffixed to keep per-model checkpoint namespaces distinct.
+func (p *Pipeline) buildModelTasks(base sim.Config, suffix string, opt Options, mechs, fairMechs []string) {
 	add := func(t Task) {
 		// base.Workers is honoured per simulation (engine-level
 		// parallelism); Options.Workers bounds how many such simulations
@@ -150,7 +185,7 @@ func Build(base sim.Config, opt Options) *Pipeline {
 			for i, pat := range []string{"UN", "ADV+1", "ADVc"} {
 				cfg := base
 				cfg.Router.Arbitration = fig.arb
-				name := fmt.Sprintf("%s%c", fig.name, 'a'+i)
+				name := fmt.Sprintf("%s%c%s", fig.name, 'a'+i, suffix)
 				add(Task{
 					Name:  name,
 					Title: fmt.Sprintf("%s (%s, %v)", name, pat, fig.arb),
@@ -173,8 +208,8 @@ func Build(base sim.Config, opt Options) *Pipeline {
 		cfg := base
 		cfg.Router.Arbitration = router.TransitOverInjection
 		fig3 := Task{
-			Name:  "fig3",
-			Title: "Figure 3: latency breakdown, In-Trns-MM under ADVc",
+			Name:  "fig3" + suffix,
+			Title: "Figure 3" + suffix + ": latency breakdown, In-Trns-MM under ADVc",
 			Kind:  Breakdown,
 			Grid: sweep.Grid{
 				Base:       cfg,
@@ -182,11 +217,11 @@ func Build(base sim.Config, opt Options) *Pipeline {
 				Patterns:   []string{"ADVc"},
 				Loads:      opt.Loads,
 			},
-			CSV: "fig3.csv",
+			CSV: "fig3" + suffix + ".csv",
 		}
 		for _, m := range mechs {
 			if m == "In-Trns-MM" {
-				fig3.deriveFrom = p.taskByName("fig2c")
+				fig3.deriveFrom = p.taskByName("fig2c" + suffix)
 				break
 			}
 		}
@@ -205,8 +240,8 @@ func Build(base sim.Config, opt Options) *Pipeline {
 		cfg := base
 		cfg.Router.Arbitration = exp.arb
 		add(Task{
-			Name:  exp.name,
-			Title: fmt.Sprintf("%s: ADVc @ %.2f, arbitration %v", exp.title, opt.FairLoad, exp.arb),
+			Name:  exp.name + suffix,
+			Title: fmt.Sprintf("%s%s: ADVc @ %.2f, arbitration %v", exp.title, suffix, opt.FairLoad, exp.arb),
 			Kind:  FairnessTables,
 			Grid: sweep.Grid{
 				Base:       cfg,
@@ -216,13 +251,6 @@ func Build(base sim.Config, opt Options) *Pipeline {
 			},
 		})
 	}
-
-	// Paper order front to back: earlier figures complete first while the
-	// pool keeps pulling from later ones whenever a worker would idle.
-	for i, t := range p.Tasks {
-		t.Priority = len(p.Tasks) - i
-	}
-	return p
 }
 
 // taskByName finds an already-added task (nil if absent).
@@ -269,7 +297,10 @@ func (p *Pipeline) Restorable(ck *sweep.Checkpoint) int {
 // everything that changes simulation outcomes — topology, router and
 // routing parameters (including the uniform link latencies), cycle counts,
 // and the latency model's registry name (its parameters are the router
-// latencies, already covered).
+// latencies, already covered). The LatencyModels sweep axis is deliberately
+// NOT part of the fingerprint: per-model results live under per-model task
+// names, so widening the axis resumes an existing checkpoint and only the
+// new models simulate.
 func (p *Pipeline) Fingerprint() string {
 	b := p.base
 	lat := "default-uniform"

@@ -12,6 +12,7 @@ import (
 
 	"dragonfly/internal/sim"
 	"dragonfly/internal/sweep"
+	"dragonfly/internal/topology"
 )
 
 // testOptions shrinks the pipeline to a laptop-second scale: a 72-node
@@ -209,6 +210,86 @@ func TestPipelineCheckpointResumeAndWorkers(t *testing.T) {
 	if countRecords(t, ckPath) != resumed.TotalPoints() {
 		t.Fatalf("completed checkpoint holds %d records, want %d",
 			countRecords(t, ckPath), resumed.TotalPoints())
+	}
+}
+
+// The latency-model axis replicates the task set once per model: uniform
+// keeps the bare task names (so existing checkpoints stay valid), other
+// models suffix theirs, each model's fig3 derives from its own fig2c, and
+// widening the axis over an existing checkpoint restores every already-run
+// point instead of resimulating it.
+func TestLatencyModelAxis(t *testing.T) {
+	base, opt := testOptions()
+	axis := []topology.LatencyModel{
+		topology.UniformLatency{Local: 10, Global: 100},
+		topology.GroupSkewLatency{Local: 10, GlobalBase: 100, GlobalStep: 10},
+	}
+
+	wide := opt
+	wide.LatencyModels = axis
+	p := Build(base, wide)
+	byName := map[string]*Task{}
+	for _, task := range p.Tasks {
+		byName[task.Name] = task
+	}
+	if len(p.Tasks) != 20 {
+		t.Fatalf("axis of 2 models built %d tasks, want 20", len(p.Tasks))
+	}
+	for _, name := range []string{"fig2a", "fig2a@groupskew", "fig4", "fig4@groupskew"} {
+		if byName[name] == nil {
+			t.Fatalf("task %s missing; have %v", name, len(byName))
+		}
+	}
+	if lm := byName["fig2a@groupskew"].Grid.Base.LatencyModel; lm == nil || lm.Name() != "groupskew" {
+		t.Fatal("suffixed task does not carry the groupskew model")
+	}
+	if lm := byName["fig2a"].Grid.Base.LatencyModel; lm != nil && lm.Name() != "uniform" {
+		t.Fatal("bare task does not carry the uniform model")
+	}
+	if fig3 := byName["fig3@groupskew"]; fig3 == nil || fig3.deriveFrom == nil || fig3.deriveFrom.Name != "fig2c@groupskew" {
+		t.Fatal("fig3@groupskew is not derived from fig2c@groupskew")
+	}
+	for i := 1; i < len(p.Tasks); i++ {
+		if p.Tasks[i].Priority >= p.Tasks[i-1].Priority {
+			t.Fatal("priorities not strictly descending across the axis")
+		}
+	}
+
+	// Checkpoint composition: run the fairness-only pipeline without the
+	// axis, then widen — every axis-less point must restore.
+	narrow := opt
+	narrow.SkipSweeps = true
+	p1 := Build(base, narrow)
+	ckPath := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := sweep.OpenCheckpoint(ckPath, p1.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Run(context.Background(), ck, nil); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	widened := narrow
+	widened.LatencyModels = axis
+	p2 := Build(base, widened)
+	if p2.Fingerprint() != p1.Fingerprint() {
+		t.Fatal("widening the axis changed the fingerprint — resume impossible")
+	}
+	ck2, err := sweep.OpenCheckpoint(ckPath, p2.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if got, want := p2.Restorable(ck2), p1.TotalPoints(); got != want {
+		t.Fatalf("widened pipeline restores %d points, want all %d axis-less ones", got, want)
+	}
+	results, err := p2.Run(context.Background(), ck2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seriesOf(t, results); len(got) != len(p2.Tasks) {
+		t.Fatalf("widened run produced %d series sets, want %d", len(got), len(p2.Tasks))
 	}
 }
 

@@ -52,6 +52,13 @@ type Packet struct {
 	Dst  int // destination node
 	Size int // phits
 
+	// Job is the job index the packet belongs to, stamped at generation
+	// time (-1 outside multi-job runs). Attribution must travel with the
+	// packet rather than be re-derived from its source node at delivery:
+	// under a dynamic scheduler the source node may have been freed and
+	// recycled to another job while the packet was in flight.
+	Job int32
+
 	// Routing state.
 	Phase          Phase
 	IntNode        int  // Valiant intermediate node; -1 when unset
@@ -102,7 +109,7 @@ type Packet struct {
 
 // Reset clears a recycled packet for reuse.
 func (p *Packet) Reset() {
-	*p = Packet{IntNode: -1, IntGroup: -1}
+	*p = Packet{IntNode: -1, IntGroup: -1, Job: -1}
 }
 
 // TotalLatency returns delivery latency in cycles (delivery - generation).

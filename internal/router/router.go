@@ -232,12 +232,18 @@ type Router struct {
 	stats     stats.Router
 
 	// Per-job attribution (multi-job workloads). nodeJob maps every node of
-	// the network to a job index (-1: unallocated); jobStats accumulates
-	// this router's share of each job's counters, attributed by packet
-	// source. Both are nil for single-workload runs, keeping the hot path
-	// untouched.
+	// the network to a job index (-1: unallocated) and attributes events
+	// that have no packet yet (backlogged generation attempts); everything
+	// packet-borne is attributed by the job index stamped into the packet
+	// at generation, so a node freed and recycled to another job mid-run
+	// never miscounts in-flight traffic. jobStats accumulates this router's
+	// share of each job's measurement-window counters; jobLive counts
+	// delivered packets per job over the whole run (warm-up included) for
+	// the dynamic scheduler's packet-target completions. All are nil for
+	// single-workload runs, keeping the hot path untouched.
 	nodeJob  []int32
 	jobStats []stats.Job
+	jobLive  []int64
 
 	// Activity signaling for the engine's active-router scheduler. peerIn
 	// and peerOut hold the router id (and peerInPort/peerOutPort the far
@@ -399,13 +405,27 @@ func (r *Router) SetDeliverHook(h func(*packet.Packet)) { r.deliverHook = h }
 func (r *Router) SetJobAttribution(nodeJob []int32, numJobs int) {
 	r.nodeJob = nodeJob
 	r.jobStats = make([]stats.Job, numJobs)
+	r.jobLive = make([]int64, numJobs)
 }
 
 // JobStats returns this router's per-job accumulators (nil when no job
 // attribution is installed), for merging by the engine.
 func (r *Router) JobStats() []stats.Job { return r.jobStats }
 
-// jobOf returns the accumulator for the job owning node src, or nil.
+// LiveJobDelivered returns the packets of job j delivered at this router
+// since the start of the run, warm-up included and independent of the
+// measurement window — the counter the dynamic scheduler polls for
+// packet-target job completions.
+func (r *Router) LiveJobDelivered(j int) int64 {
+	if r.jobLive == nil {
+		return 0
+	}
+	return r.jobLive[j]
+}
+
+// jobOf returns the accumulator for the job currently owning node src, or
+// nil. Used only for events without a packet (backlogged attempts); packet
+// events use jobByID with the stamp taken at generation.
 func (r *Router) jobOf(src int) *stats.Job {
 	if r.jobStats == nil {
 		return nil
@@ -414,6 +434,14 @@ func (r *Router) jobOf(src int) *stats.Job {
 		return &r.jobStats[j]
 	}
 	return nil
+}
+
+// jobByID returns the accumulator for the packet-stamped job index, or nil.
+func (r *Router) jobByID(j int32) *stats.Job {
+	if r.jobStats == nil || j < 0 {
+		return nil
+	}
+	return &r.jobStats[j]
 }
 
 // ConnectOut attaches the outgoing link of an output port.
@@ -520,7 +548,7 @@ func (r *Router) EnqueueInjection(now int64, p *packet.Packet) {
 	r.inputs[port].qTotal++
 	if r.measuring {
 		r.stats.Generated++
-		if j := r.jobOf(p.Src); j != nil {
+		if j := r.jobByID(p.Job); j != nil {
 			j.Generated++
 		}
 	}
@@ -748,7 +776,7 @@ func (r *Router) completeTransfers(now int64) {
 			pkt.InjectTime = now
 			if r.measuring {
 				r.stats.Injected++
-				if j := r.jobOf(pkt.Src); j != nil {
+				if j := r.jobByID(pkt.Job); j != nil {
 					j.Injected++
 				}
 			}
@@ -1061,6 +1089,9 @@ func (r *Router) pathCost(local, global int, linkLat int64) int64 {
 
 func (r *Router) deliver(at int64, pkt *packet.Packet) {
 	pkt.DeliverTime = at
+	if r.jobLive != nil && pkt.Job >= 0 {
+		r.jobLive[pkt.Job]++
+	}
 	if r.measuring {
 		s := &r.stats
 		s.Delivered++
@@ -1071,7 +1102,7 @@ func (r *Router) deliver(at int64, pkt *packet.Packet) {
 		if lat > s.MaxLatency {
 			s.MaxLatency = lat
 		}
-		if j := r.jobOf(pkt.Src); j != nil {
+		if j := r.jobByID(pkt.Job); j != nil {
 			j.Delivered++
 			j.DeliveredPhits += int64(pkt.Size)
 			j.LatencySum += lat

@@ -1,0 +1,164 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/workload"
+)
+
+// controller is the sim.Controller that replays a trace: it admits the full
+// job population at construction (job indices and per-job accounting are
+// fixed for the run), then places, polls and releases jobs at cycle
+// boundaries. All its decisions are deterministic functions of the cycle
+// and of per-job delivered counters read at cycle boundaries, so a trace
+// replays bit-identically on every engine.
+type controller struct {
+	wl       *workload.Workload
+	backfill bool
+	jobs     []jobState
+	order    []int // job indices sorted by (arrival, trace position)
+	nextArr  int   // next unqueued entry of order
+	queue    []int // arrived, waiting; in (arrival, trace position) order
+	running  []int // placed, not yet departed; in placement order
+}
+
+// jobState is one job's lifecycle.
+type jobState struct {
+	arrival    int64
+	durCycles  int64 // > 0: departs at start+durCycles
+	targetPkts int64 // > 0: departs once this many packets delivered
+	load       float64
+	start      int64 // -1 until placed
+	completion int64 // -1 until departed
+	routers    []int // allocation, captured at placement
+	nodes      []int
+}
+
+// newController admits every trace job into a fresh dynamic workload and
+// builds the arrival order. tr must be normalized.
+func newController(t *topology.Topology, tr Trace, seed uint64) (*controller, *workload.Workload, error) {
+	wl := workload.NewDynamic(t, seed)
+	c := &controller{
+		wl:       wl,
+		backfill: tr.Discipline == DisciplineBackfill,
+		jobs:     make([]jobState, len(tr.Jobs)),
+		order:    make([]int, len(tr.Jobs)),
+	}
+	for i := range tr.Jobs {
+		tj := &tr.Jobs[i]
+		j, err := wl.Admit(tj.JobSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if need := wl.RoutersFor(j); need > t.NumRouters() {
+			return nil, nil, fmt.Errorf("scheduler: job %q needs %d routers but the machine has %d: it can never start",
+				tj.Name, need, t.NumRouters())
+		}
+		st := &c.jobs[j]
+		st.arrival = tj.Arrival
+		st.load = wl.JobSpecOf(j).Load
+		st.start, st.completion = -1, -1
+		switch tj.DurationKind {
+		case DurationCycles:
+			st.durCycles = tj.Duration
+		case DurationPackets:
+			st.targetPkts = tj.Duration
+		}
+		c.order[i] = j
+	}
+	sort.SliceStable(c.order, func(a, b int) bool {
+		return c.jobs[c.order[a]].arrival < c.jobs[c.order[b]].arrival
+	})
+	return c, wl, nil
+}
+
+// NextEvent implements sim.Controller: the earliest future cycle with
+// scheduler work — the next arrival, the next known (cycle-budget)
+// departure, or the next cycle when any packet-target job is running and
+// its counter must be polled. Queue movement happens only at those cycles,
+// because capacity changes only at departures and demand only at arrivals.
+func (c *controller) NextEvent(now int64) int64 {
+	next := int64(-1)
+	add := func(t int64) {
+		if t <= now {
+			t = now + 1
+		}
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if c.nextArr < len(c.order) {
+		add(c.jobs[c.order[c.nextArr]].arrival)
+	}
+	for _, j := range c.running {
+		st := &c.jobs[j]
+		switch {
+		case st.durCycles > 0:
+			add(st.start + st.durCycles)
+		case st.targetPkts > 0:
+			add(now + 1)
+		}
+	}
+	return next
+}
+
+// Apply implements sim.Controller: departures first (so a same-cycle
+// arrival can recycle the freed allocation), then arrivals, then placement
+// under the discipline.
+func (c *controller) Apply(rc *sim.Reconfig, now int64) {
+	for i := 0; i < len(c.running); {
+		j := c.running[i]
+		st := &c.jobs[j]
+		done := st.durCycles > 0 && now >= st.start+st.durCycles
+		if !done && st.targetPkts > 0 {
+			done = rc.LiveJobDelivered(j, st.routers) >= st.targetPkts
+		}
+		if !done {
+			i++
+			continue
+		}
+		st.completion = now
+		for _, n := range st.nodes {
+			rc.SetNodeSilent(n)
+			rc.SetNodeJob(n, -1)
+		}
+		c.wl.Release(j)
+		c.running = append(c.running[:i], c.running[i+1:]...)
+	}
+	for c.nextArr < len(c.order) && c.jobs[c.order[c.nextArr]].arrival <= now {
+		c.queue = append(c.queue, c.order[c.nextArr])
+		c.nextArr++
+	}
+	for i := 0; i < len(c.queue); {
+		j := c.queue[i]
+		if !c.wl.Fits(j) {
+			if !c.backfill {
+				return // FCFS: a blocked head blocks everything behind it
+			}
+			i++
+			continue
+		}
+		c.place(rc, j, now)
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	}
+}
+
+// place allocates job j now and activates its nodes. Fits was checked and
+// Admit validated the spec, so Place cannot fail here.
+func (c *controller) place(rc *sim.Reconfig, j int, now int64) {
+	if err := c.wl.Place(j); err != nil {
+		panic(fmt.Sprintf("scheduler: placing admitted job that fits: %v", err))
+	}
+	st := &c.jobs[j]
+	st.start = now
+	st.routers = c.wl.JobRouters(j)
+	st.nodes = c.wl.JobNodeIDs(j)
+	for _, n := range st.nodes {
+		rc.SetNodeJob(n, j)
+		rc.SetNodeActive(n, st.load)
+	}
+	c.running = append(c.running, j)
+}

@@ -63,11 +63,19 @@ func clampWorkers(net *Network, cfg *Config) int {
 // routers are skipped and woken by the calendar (see schedule.go). Exposed
 // for tools that inspect network state after the run.
 func RunNetwork(net *Network, cfg *Config) error {
+	return RunNetworkWithController(net, cfg, nil)
+}
+
+// RunNetworkWithController is RunNetwork with a reconfiguration Controller
+// invoked between cycles (nil: none). Every engine calls the controller at
+// the same cycles with the same pre-cycle state, so reconfigured runs stay
+// bit-identical across engines and worker counts.
+func RunNetworkWithController(net *Network, cfg *Config, ctrl Controller) error {
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	if workers := clampWorkers(net, cfg); workers > 1 {
-		return runParallel(net, cfg.WarmupCycles, total, workers)
+		return runParallel(net, cfg.WarmupCycles, total, workers, ctrl)
 	}
-	return runSequential(net, cfg.WarmupCycles, total)
+	return runSequential(net, cfg.WarmupCycles, total, ctrl)
 }
 
 // RunNetworkReference drives the network with the dense reference engines
@@ -75,11 +83,17 @@ func RunNetwork(net *Network, cfg *Config) error {
 // proven bit-identical against (see the cross-engine equivalence tests)
 // and the "before" side of the cmd/dfbench regression harness.
 func RunNetworkReference(net *Network, cfg *Config) error {
+	return RunNetworkReferenceWithController(net, cfg, nil)
+}
+
+// RunNetworkReferenceWithController is RunNetworkReference with a
+// reconfiguration Controller invoked between cycles (nil: none).
+func RunNetworkReferenceWithController(net *Network, cfg *Config, ctrl Controller) error {
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	if workers := clampWorkers(net, cfg); workers > 1 {
-		return runParallelRef(net, cfg.WarmupCycles, total, workers)
+		return runParallelRef(net, cfg.WarmupCycles, total, workers, ctrl)
 	}
-	return runSequentialRef(net, cfg.WarmupCycles, total)
+	return runSequentialRef(net, cfg.WarmupCycles, total, ctrl)
 }
 
 // batchIndex maps a measurement cycle to its batch-means span.
@@ -110,8 +124,9 @@ func setPhase(net *Network, now, warmup, measure int64, batch *int) {
 	}
 }
 
-func runSequential(net *Network, warmup, total int64) error {
+func runSequential(net *Network, warmup, total int64, ctrl Controller) error {
 	sched := newScheduler(len(net.Routers))
+	reconf := newReconfigRun(net, ctrl)
 	var wbuf []router.LinkEvent
 	sink := func(ev router.LinkEvent) {
 		// Route the event to the destination router immediately (its pop
@@ -144,6 +159,10 @@ func runSequential(net *Network, warmup, total int64) error {
 		}
 	}
 	for now := int64(0); now < total; now++ {
+		// Reconfiguration first: membership changes must be visible to this
+		// cycle's generation, and a force-woken router at worst executes a
+		// provable no-op step.
+		reconf.step(now, func(r int) { sched.active[r] = true })
 		setPhase(net, now, warmup, measure, &batch)
 		if net.pb != nil {
 			for g, d := range pbDirty {
@@ -223,8 +242,9 @@ func watchdog(net *Network, now, lastSeen int64) (int64, error) {
 // the coordinator between cycles and keeps spans contiguous and ascending,
 // so results stay bit-identical to the sequential engine for any worker
 // count.
-func runParallel(net *Network, warmup, total int64, workers int) error {
+func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller) error {
 	n := len(net.Routers)
+	reconf := newReconfigRun(net, ctrl)
 	weight := make([]int64, n) // router-steps, halved at each re-partition
 	shards := balancedSpans(weight, workers, make([]span, 0, workers))
 	spare := make([]span, 0, workers) // second buffer; swaps with shards
@@ -323,7 +343,10 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 	batch := -1
 	for now := int64(0); now < total; now++ {
 		// Workers are quiescent between cycles, so the coordinator may
-		// touch router and scheduler state here.
+		// touch router and scheduler state here — including the
+		// reconfiguration controller, which must run before this cycle's
+		// active lists are built so force-woken routers are stepped.
+		reconf.step(now, func(r int) { sched.active[r] = true })
 		if now > 0 && now%rebalanceInterval == 0 {
 			if fresh := balancedSpans(weight, workers, spare); !spansEqual(fresh, shards) {
 				shards, spare = fresh, shards[:0]
@@ -400,11 +423,13 @@ func runParallel(net *Network, warmup, total int64, workers int) error {
 // runSequentialRef is the dense seed engine: every router is generated for
 // and stepped every cycle. Kept as the executable specification the
 // scheduler engines are verified against.
-func runSequentialRef(net *Network, warmup, total int64) error {
+func runSequentialRef(net *Network, warmup, total int64, ctrl Controller) error {
+	reconf := newReconfigRun(net, ctrl)
 	measure := total - warmup
 	var lastSeen int64
 	batch := -1
 	for now := int64(0); now < total; now++ {
+		reconf.step(now, nil)
 		setPhase(net, now, warmup, measure, &batch)
 		if net.pb != nil {
 			for g := 0; g < net.Topo.NumGroups(); g++ {
@@ -429,7 +454,8 @@ func runSequentialRef(net *Network, warmup, total int64) error {
 
 // runParallelRef is the dense seed parallel engine (full shards, barrier
 // per phase), kept as the reference for the parallel scheduler path.
-func runParallelRef(net *Network, warmup, total int64, workers int) error {
+func runParallelRef(net *Network, warmup, total int64, workers int, ctrl Controller) error {
+	reconf := newReconfigRun(net, ctrl)
 	shards := make([]span, workers)
 	n := len(net.Routers)
 	for w := 0; w < workers; w++ {
@@ -474,6 +500,7 @@ func runParallelRef(net *Network, warmup, total int64, workers int) error {
 	measure := total - warmup
 	batch := -1
 	for now := int64(0); now < total; now++ {
+		reconf.step(now, nil) // workers quiescent between cycles
 		setPhase(net, now, warmup, measure, &batch)
 		phases := 1
 		if net.pb != nil {

@@ -41,6 +41,12 @@ type Network struct {
 	pool    sync.Pool
 	genProb float64 // packet generation probability per node per cycle
 
+	// nodeJob is the live node→job map shared read-only with every router
+	// (nil without job attribution). Packets are stamped with it at
+	// generation; a Controller may rewrite entries between cycles through
+	// Reconfig.SetNodeJob when jobs arrive, depart, or nodes are recycled.
+	nodeJob []int32
+
 	// latency is the resolved per-link latency model; uniform caches the
 	// constant-latency fast path so the per-packet minimal-path pricing in
 	// generate stays two multiplies for the common case.
@@ -205,12 +211,12 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 	// router accumulates per-job counters attributed by packet source.
 	if jm, ok := pat.(traffic.JobMapper); ok && jm.NumJobs() > 0 {
 		net.jobs = jm
-		nodeJob := make([]int32, topo.NumNodes())
-		for n := range nodeJob {
-			nodeJob[n] = int32(jm.NodeJob(n))
+		net.nodeJob = make([]int32, topo.NumNodes())
+		for n := range net.nodeJob {
+			net.nodeJob[n] = int32(jm.NodeJob(n))
 		}
 		for _, r := range net.Routers {
-			r.SetJobAttribution(nodeJob, jm.NumJobs())
+			r.SetJobAttribution(net.nodeJob, jm.NumJobs())
 		}
 	}
 	net.genWake = make([]int64, topo.NumRouters())
@@ -296,6 +302,9 @@ func (net *Network) generate(r int, now int64) {
 			ns.seq++
 			pkt.ID = uint64(src)<<32 | ns.seq
 			pkt.Src = src
+			if net.nodeJob != nil {
+				pkt.Job = net.nodeJob[src]
+			}
 			pkt.Dst = dst
 			pkt.Size = net.cfg.Router.PacketSize
 			pkt.GenTime = now
@@ -319,6 +328,26 @@ func (net *Network) minPathLinkLat(src, dst int, min topology.PathLength) int64 
 	}
 	t := net.Topo
 	return topology.MinimalPathLinkLatency(t, net.latency, t.NodeRouter(src), t.NodeRouter(dst))
+}
+
+// LiveJobDelivered sums job j's delivered packets since the start of the
+// run — warm-up included, independent of the measurement window — over the
+// given routers (nil: all routers). Intra-job traffic is delivered only at
+// routers hosting the job, so a Controller polling a packet-target job may
+// pass just its hosting routers. Safe to call between cycles and after the
+// run.
+func (net *Network) LiveJobDelivered(job int, routers []int) int64 {
+	var sum int64
+	if routers == nil {
+		for _, r := range net.Routers {
+			sum += r.LiveJobDelivered(job)
+		}
+		return sum
+	}
+	for _, r := range routers {
+		sum += net.Routers[r].LiveJobDelivered(job)
+	}
+	return sum
 }
 
 // EngineSteps returns the number of router-steps the last

@@ -1,0 +1,157 @@
+package sim
+
+import "math"
+
+// The safe reconfiguration point. A Controller changes which nodes generate
+// traffic — and which job they belong to — while a simulation runs, which is
+// what a dynamic job scheduler needs: jobs arrive, depart, and freed
+// allocations are recycled mid-run.
+//
+// Correctness rests on *when* the controller runs, not on what it changes:
+// Apply executes only between cycles, on the coordinator, with every engine
+// worker quiescent (the same window in which the engines already mutate
+// scheduler state). All engines — sequential and parallel, scheduler and
+// dense reference — call the controller at exactly the same cycles with
+// exactly the same pre-cycle network state, so a run with mid-run
+// reconfiguration stays bit-identical across engines and worker counts for
+// the same reason a static run does. Activating a node consumes only that
+// node's own RNG stream (its first Bernoulli arrival draw), exactly the
+// draw network construction would have consumed had the node been active
+// from the start — which is why a trace whose jobs all arrive at cycle 0
+// and never depart reproduces the static workload run bit for bit.
+//
+// After Apply, the engines refresh the generation calendar of every router
+// the controller touched and force-wake it under the active-router
+// scheduler. A wake that turns out to be unnecessary (a node fell silent)
+// costs a provable no-op step and nothing else — the same argument that
+// makes spurious calendar wakes safe.
+
+// Controller drives mid-run traffic reconfiguration. Implementations must
+// be deterministic functions of the network state observable at cycle
+// boundaries (the scheduler's queueing state, per-job live delivered
+// counters), or cross-engine bit-identity is lost.
+type Controller interface {
+	// NextEvent returns the next cycle strictly greater than now at which
+	// Apply must run, or -1 for never again. It is called once with -1
+	// before the first cycle and after every Apply.
+	NextEvent(now int64) int64
+	// Apply runs at the start of cycle now, before generation and routing,
+	// with all engine workers quiescent. It mutates membership only through
+	// the Reconfig handle.
+	Apply(rc *Reconfig, now int64)
+}
+
+// Reconfig is the mutation handle a Controller receives. It records which
+// routers were touched so the engine can refresh their generation calendars
+// and wake them.
+type Reconfig struct {
+	net     *Network
+	now     int64
+	touched []bool
+	list    []int
+}
+
+// Now returns the cycle the current Apply runs at.
+func (rc *Reconfig) Now() int64 { return rc.now }
+
+func (rc *Reconfig) touch(router int) {
+	if !rc.touched[router] {
+		rc.touched[router] = true
+		rc.list = append(rc.list, router)
+	}
+}
+
+// SetNodeActive starts (or re-starts) traffic generation at a node. load is
+// the node's offered load in phits/(node·cycle); 0 inherits the run's
+// configured load. The node's first arrival is sampled from its own RNG
+// stream exactly as network construction samples it, so activating at cycle
+// 0 is indistinguishable from having been active at build time.
+func (rc *Reconfig) SetNodeActive(node int, load float64) {
+	net := rc.net
+	ns := &net.nodes[node]
+	q := net.genProb
+	if load > 0 {
+		q = load / float64(net.cfg.Router.PacketSize)
+	}
+	ns.q = q
+	ns.active = q > 0
+	rc.touch(net.Topo.NodeRouter(node))
+	if !ns.active {
+		return
+	}
+	if q < 1 {
+		ns.logOneMinusQ = math.Log(1 - q)
+	}
+	ns.nextGen = ns.nextArrival(rc.now-1, q)
+}
+
+// SetNodeSilent stops traffic generation at a node (a departing job's nodes
+// fall silent; packets already generated keep flowing and deliver normally).
+func (rc *Reconfig) SetNodeSilent(node int) {
+	net := rc.net
+	net.nodes[node].active = false
+	rc.touch(net.Topo.NodeRouter(node))
+}
+
+// SetNodeJob rewrites the live node→job attribution of one node (-1:
+// unallocated). Only packets generated from this cycle on carry the new
+// index — in-flight packets keep the job stamped at their generation, so a
+// recycled node never miscounts the previous tenant's traffic.
+func (rc *Reconfig) SetNodeJob(node, job int) {
+	if rc.net.nodeJob == nil {
+		panic("sim: SetNodeJob without job attribution (pattern has no jobs)")
+	}
+	rc.net.nodeJob[node] = int32(job)
+}
+
+// LiveJobDelivered exposes Network.LiveJobDelivered to the controller: job
+// j's whole-run delivered packets summed over the given routers (nil: all).
+func (rc *Reconfig) LiveJobDelivered(job int, routers []int) int64 {
+	return rc.net.LiveJobDelivered(job, routers)
+}
+
+// reconfigRun is the per-engine controller driver: it asks the controller
+// for its event cycles and runs Apply between cycles, then refreshes the
+// generation calendars of touched routers and reports them to the engine's
+// wake callback (nil for the dense engines, which visit every router every
+// cycle anyway). A nil *reconfigRun is inert, so engines call step
+// unconditionally.
+type reconfigRun struct {
+	ctrl Controller
+	rc   Reconfig
+	next int64
+}
+
+func newReconfigRun(net *Network, ctrl Controller) *reconfigRun {
+	if ctrl == nil {
+		return nil
+	}
+	return &reconfigRun{
+		ctrl: ctrl,
+		rc:   Reconfig{net: net, touched: make([]bool, len(net.Routers))},
+		next: ctrl.NextEvent(-1),
+	}
+}
+
+// step runs the controller if an event is due at cycle now. It must be
+// called at the top of every engine cycle, before generation, with workers
+// quiescent.
+func (r *reconfigRun) step(now int64, wake func(router int)) {
+	if r == nil || r.next < 0 || r.next > now {
+		return
+	}
+	r.rc.now = now
+	r.ctrl.Apply(&r.rc, now)
+	r.next = r.ctrl.NextEvent(now)
+	if r.next >= 0 && r.next <= now {
+		panic("sim: Controller.NextEvent returned a cycle not after now")
+	}
+	for _, router := range r.rc.list {
+		r.rc.net.refreshGenWake(router)
+		if wake != nil {
+			wake(router)
+		}
+		r.rc.touched[router] = false
+	}
+	r.rc.list = r.rc.list[:0]
+}

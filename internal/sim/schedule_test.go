@@ -45,9 +45,9 @@ func runSched(t *testing.T, cfg Config, workers int) (*Result, int64) {
 	}
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	if workers > 1 {
-		err = runParallel(net, cfg.WarmupCycles, total, workers)
+		err = runParallel(net, cfg.WarmupCycles, total, workers, nil)
 	} else {
-		err = runSequential(net, cfg.WarmupCycles, total)
+		err = runSequential(net, cfg.WarmupCycles, total, nil)
 	}
 	if err != nil {
 		t.Fatal(err)
@@ -166,9 +166,9 @@ func TestWatchdogFiresWithSleepingRouters(t *testing.T) {
 
 		total := cfg.WarmupCycles + cfg.MeasureCycles
 		if workers > 1 {
-			err = runParallel(net, cfg.WarmupCycles, total, workers)
+			err = runParallel(net, cfg.WarmupCycles, total, workers, nil)
 		} else {
-			err = runSequential(net, cfg.WarmupCycles, total)
+			err = runSequential(net, cfg.WarmupCycles, total, nil)
 		}
 		if err == nil {
 			t.Fatalf("workers=%d: marooned packet went undetected", workers)

@@ -26,13 +26,25 @@ type Workload struct {
 	nodeJob  []int32 // node → job index, -1 unallocated (or silenced by Solo)
 	nodeRank []int32 // node → rank within its job
 	name     string
+
+	// Dynamic-mode state (see dynamic.go): the free-router pool and the
+	// compile-time RNG, retained so jobs can be placed and released
+	// incrementally after construction. Compile itself is built on the same
+	// Admit/Place primitives, which is what makes a dynamic trace whose
+	// jobs are all placed at cycle 0 reproduce a static compile exactly —
+	// both consume the allocation RNG stream in the same order.
+	free        []bool
+	freeRouters int
+	root        *rng.Source
+	names       map[string]bool // admitted job names, for duplicate checks
 }
 
 // job is the compiled form of a JobSpec.
 type job struct {
 	spec     JobSpec
 	nodes    []int // node ids in rank order
-	routers  []int // hosting routers in allocation order
+	routers  []int // hosting routers in allocation order (nil: not placed)
+	released bool  // true after Release: placement history only
 	patterns []rankPattern
 	period   int64 // bursty/switch phase length; 0 = steady
 	onCycles int64 // bursty: on-cycles per period; 0 = always on
@@ -87,22 +99,47 @@ func rankPatternByName(name string, n int, rnd *rng.Source) (rankPattern, error)
 		traffic.Derange(perm)
 		return rankPerm{to: perm}, nil
 	case u == "SHIFT" || strings.HasPrefix(u, "SHIFT+"):
-		k := 1
-		if u != "SHIFT" {
-			var err error
-			if k, err = strconv.Atoi(u[len("SHIFT+"):]); err != nil {
-				return nil, fmt.Errorf("workload: bad SHIFT offset in %q", name)
-			}
+		k, err := shiftOffset(u, name, n)
+		if err != nil {
+			return nil, err
 		}
-		if k <= 0 {
-			return nil, fmt.Errorf("workload: SHIFT offset must be positive, got %d", k)
-		}
-		if k%n == 0 {
-			return nil, fmt.Errorf("workload: SHIFT+%d collapses to self for a %d-node job", k, n)
-		}
-		return rankShift{k: k % n}, nil
+		return rankShift{k: k}, nil
 	default:
 		return nil, fmt.Errorf("workload: unknown intra-job pattern %q (known: UN, PERM, SHIFT+<k>)", name)
+	}
+}
+
+// shiftOffset parses and range-checks a SHIFT offset against the job size.
+func shiftOffset(u, name string, n int) (int, error) {
+	k := 1
+	if u != "SHIFT" {
+		var err error
+		if k, err = strconv.Atoi(u[len("SHIFT+"):]); err != nil {
+			return 0, fmt.Errorf("workload: bad SHIFT offset in %q", name)
+		}
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("workload: SHIFT offset must be positive, got %d", k)
+	}
+	if k%n == 0 {
+		return 0, fmt.Errorf("workload: SHIFT+%d collapses to self for a %d-node job", k, n)
+	}
+	return k % n, nil
+}
+
+// validateRankPattern checks an intra-job pattern name against a job size
+// without building the pattern — no RNG, no permutation allocation — so
+// admission-time validation costs O(1) per name.
+func validateRankPattern(name string, n int) error {
+	u := strings.ToUpper(strings.TrimSpace(name))
+	switch {
+	case u == "UN" || u == "UNIFORM", u == "PERM" || u == "PERMUTATION":
+		return nil
+	case u == "SHIFT" || strings.HasPrefix(u, "SHIFT+"):
+		_, err := shiftOffset(u, name, n)
+		return err
+	default:
+		return fmt.Errorf("workload: unknown intra-job pattern %q (known: UN, PERM, SHIFT+<k>)", name)
 	}
 }
 
@@ -114,92 +151,20 @@ func Compile(t *topology.Topology, spec Spec, seed uint64) (*Workload, error) {
 	if len(spec.Jobs) == 0 {
 		return nil, fmt.Errorf("workload: spec has no jobs")
 	}
-	root := rng.New(seed ^ compileSalt)
-	p := t.Params()
-	w := &Workload{
-		topo:     t,
-		nodeJob:  make([]int32, t.NumNodes()),
-		nodeRank: make([]int32, t.NumNodes()),
-	}
-	for n := range w.nodeJob {
-		w.nodeJob[n] = -1
-	}
-	freeRouters := t.NumRouters()
-	free := make([]bool, t.NumRouters())
-	for r := range free {
-		free[r] = true
-	}
-	names := make(map[string]bool, len(spec.Jobs))
+	// Compile is the all-at-once form of the dynamic Admit/Place API: every
+	// job is admitted and placed immediately, in spec order, consuming the
+	// compile RNG stream exactly as a cycle-0 dynamic placement would.
+	w := NewDynamic(t, seed)
 	labels := make([]string, 0, len(spec.Jobs))
 	for idx := range spec.Jobs {
-		js := spec.Jobs[idx] // copy: normalize fills defaults locally
-		if err := js.normalize(idx); err != nil {
-			return nil, err
-		}
-		if names[js.Name] {
-			return nil, fmt.Errorf("workload: duplicate job name %q", js.Name)
-		}
-		names[js.Name] = true
-		need := (js.Nodes + p.P - 1) / p.P
-		if need > freeRouters {
-			return nil, fmt.Errorf("workload: job %q needs %d routers but only %d of %d are free",
-				js.Name, need, freeRouters, t.NumRouters())
-		}
-		firstGroup := ((js.FirstGroup % t.NumGroups()) + t.NumGroups()) % t.NumGroups()
-		var routers []int
-		var err error
-		switch js.Alloc {
-		case AllocConsecutive:
-			routers = allocConsecutive(t, free, firstGroup*p.A, need)
-		case AllocRandom:
-			routers = allocRandom(free, need, root)
-		case AllocSpread:
-			routers = allocSpread(t, free, firstGroup, need)
-		}
-		if len(routers) != need {
-			return nil, fmt.Errorf("workload: job %q: allocation produced %d of %d routers", js.Name, len(routers), need)
-		}
-		freeRouters -= need
-
-		jb := &job{spec: js, routers: routers}
-		for _, r := range routers {
-			for i := 0; i < p.P && len(jb.nodes) < js.Nodes; i++ {
-				node := t.NodeID(r, i)
-				w.nodeJob[node] = int32(len(w.jobs))
-				w.nodeRank[node] = int32(len(jb.nodes))
-				jb.nodes = append(jb.nodes, node)
-			}
-		}
-		patNames := []string{js.Pattern}
-		if js.Phase.Kind == PhaseSwitch {
-			patNames = js.Phase.Patterns
-		}
-		for _, pn := range patNames {
-			rp, perr := rankPatternByName(pn, len(jb.nodes), root.Split())
-			if perr != nil {
-				err = fmt.Errorf("workload: job %q: %w", js.Name, perr)
-				break
-			}
-			jb.patterns = append(jb.patterns, rp)
-		}
+		j, err := w.Admit(spec.Jobs[idx])
 		if err != nil {
 			return nil, err
 		}
-		switch js.Phase.Kind {
-		case PhaseBursty:
-			jb.period = js.Phase.Period
-			jb.onCycles = int64(js.Phase.Duty*float64(js.Phase.Period) + 0.5)
-			if jb.onCycles < 1 {
-				jb.onCycles = 1
-			}
-			if jb.onCycles >= jb.period {
-				jb.onCycles = 0 // full duty degenerates to steady
-			}
-		case PhaseSwitch:
-			jb.period = js.Phase.Period
+		if err := w.Place(j); err != nil {
+			return nil, err
 		}
-		w.jobs = append(w.jobs, jb)
-		labels = append(labels, js.Name)
+		labels = append(labels, w.jobs[j].spec.Name)
 	}
 	w.name = "WL(" + strings.Join(labels, "+") + ")"
 	return w, nil
@@ -268,8 +233,18 @@ func allocSpread(t *topology.Topology, free []bool, firstGroup, need int) []int 
 	return out
 }
 
-// Name implements traffic.Pattern.
-func (w *Workload) Name() string { return w.name }
+// Name implements traffic.Pattern. Compiled (and derived) workloads carry
+// an explicit name; dynamic ones label themselves by their admitted jobs.
+func (w *Workload) Name() string {
+	if w.name != "" {
+		return w.name
+	}
+	labels := make([]string, len(w.jobs))
+	for i, jb := range w.jobs {
+		labels[i] = jb.spec.Name
+	}
+	return "SCHED(" + strings.Join(labels, "+") + ")"
+}
 
 // Dest implements traffic.Pattern as the cycle-0 draw; the simulator uses
 // DestAt whenever the pattern is wired into a run.
@@ -372,7 +347,7 @@ func (w *Workload) Subset(keep ...int) *Workload {
 		jobs:     w.jobs,
 		nodeJob:  make([]int32, len(w.nodeJob)),
 		nodeRank: w.nodeRank,
-		name:     w.name + "/subset:" + strings.Join(labels, "+"),
+		name:     w.Name() + "/subset:" + strings.Join(labels, "+"),
 	}
 	for n, ji := range w.nodeJob {
 		if ji >= 0 && sel[ji] {
@@ -390,6 +365,6 @@ func (w *Workload) Subset(keep ...int) *Workload {
 // same placement running alone).
 func (w *Workload) Solo(j int) *Workload {
 	s := w.Subset(j)
-	s.name = w.name + "/solo:" + w.jobs[j].spec.Name
+	s.name = w.Name() + "/solo:" + w.jobs[j].spec.Name
 	return s
 }

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"dragonfly/internal/rng"
+	"dragonfly/internal/topology"
+)
+
+// Dynamic workloads: the incremental Admit/Place/Release API a job
+// scheduler drives. A dynamic workload registers its full job population up
+// front (Admit — job indices and per-job accounting arrays are fixed for
+// the whole run), then places and releases jobs while the simulation runs,
+// recycling freed routers. Compile is a thin loop over the same primitives,
+// so a scheduler that places every job at cycle 0 and never releases any
+// reproduces a static compile exactly, RNG stream included.
+//
+// Invariants:
+//
+//   - A job places at most once; its index, name and spec never change.
+//   - nodeJob/nodeRank always describe the *current* tenancy: Release
+//     clears a job's entries, Place overwrites them for the new tenant.
+//     In-flight packets of a released job are unaffected — the simulator
+//     attributes packets by the job index stamped at generation.
+//   - The placement RNG (allocation draws, PERM pairings) is consumed only
+//     by Place, in call order, so a trace's placements are a deterministic
+//     function of the seed and the placement sequence.
+var ErrNoCapacity = errors.New("workload: not enough free routers")
+
+// NewDynamic returns an empty dynamic workload over the topology: no jobs,
+// every router free. seed drives placement randomness exactly as in
+// Compile.
+func NewDynamic(t *topology.Topology, seed uint64) *Workload {
+	w := &Workload{
+		topo:        t,
+		nodeJob:     make([]int32, t.NumNodes()),
+		nodeRank:    make([]int32, t.NumNodes()),
+		free:        make([]bool, t.NumRouters()),
+		freeRouters: t.NumRouters(),
+		root:        rng.New(seed ^ compileSalt),
+		names:       make(map[string]bool),
+	}
+	for n := range w.nodeJob {
+		w.nodeJob[n] = -1
+	}
+	for r := range w.free {
+		w.free[r] = true
+	}
+	return w
+}
+
+// Admit registers a job without placing it: the spec is normalised and
+// validated (allocation policy, pattern names against the job size, phase
+// fields), the job index is reserved, and per-job accounting is sized. It
+// consumes no placement RNG, so admission order only fixes job indices.
+func (w *Workload) Admit(js JobSpec) (int, error) {
+	idx := len(w.jobs)
+	if err := js.normalize(idx); err != nil {
+		return -1, err
+	}
+	if w.names[js.Name] {
+		return -1, fmt.Errorf("workload: duplicate job name %q", js.Name)
+	}
+	// Pattern names are validated now, against the job's rank count, so
+	// Place cannot fail on anything but capacity.
+	for _, pn := range patternNames(&js) {
+		if err := validateRankPattern(pn, js.Nodes); err != nil {
+			return -1, fmt.Errorf("workload: job %q: %w", js.Name, err)
+		}
+	}
+	w.names[js.Name] = true
+	w.jobs = append(w.jobs, &job{spec: js})
+	return idx, nil
+}
+
+// patternNames returns the pattern names a job compiles (the switch-phase
+// list, or the single job pattern).
+func patternNames(js *JobSpec) []string {
+	if js.Phase.Kind == PhaseSwitch {
+		return js.Phase.Patterns
+	}
+	return []string{js.Pattern}
+}
+
+// RoutersFor returns the number of routers job j occupies when placed.
+func (w *Workload) RoutersFor(j int) int {
+	p := w.topo.Params().P
+	return (w.jobs[j].spec.Nodes + p - 1) / p
+}
+
+// FreeRouters returns the routers currently unallocated.
+func (w *Workload) FreeRouters() int { return w.freeRouters }
+
+// Fits reports whether job j can be placed right now. Allocation policies
+// take any free routers (fragmentation never blocks them), so fitting is
+// exactly a free-count check.
+func (w *Workload) Fits(j int) bool { return w.RoutersFor(j) <= w.freeRouters }
+
+// Placed reports whether job j currently holds an allocation.
+func (w *Workload) Placed(j int) bool {
+	jb := w.jobs[j]
+	return jb.routers != nil && !jb.released
+}
+
+// Place allocates routers for admitted job j under its allocation policy,
+// fills the node→job/rank maps, and compiles its rank patterns — consuming
+// the placement RNG in the same order Compile does. It returns an error
+// wrapping ErrNoCapacity when too few routers are free (the job stays
+// admitted and can be placed later).
+func (w *Workload) Place(j int) error {
+	jb := w.jobs[j]
+	if jb.routers != nil {
+		return fmt.Errorf("workload: job %q placed twice", jb.spec.Name)
+	}
+	js := &jb.spec
+	t := w.topo
+	p := t.Params()
+	need := w.RoutersFor(j)
+	if need > w.freeRouters {
+		return fmt.Errorf("%w: job %q needs %d routers but only %d of %d are free",
+			ErrNoCapacity, js.Name, need, w.freeRouters, t.NumRouters())
+	}
+	firstGroup := ((js.FirstGroup % t.NumGroups()) + t.NumGroups()) % t.NumGroups()
+	var routers []int
+	switch js.Alloc {
+	case AllocConsecutive:
+		routers = allocConsecutive(t, w.free, firstGroup*p.A, need)
+	case AllocRandom:
+		routers = allocRandom(w.free, need, w.root)
+	case AllocSpread:
+		routers = allocSpread(t, w.free, firstGroup, need)
+	}
+	if len(routers) != need {
+		return fmt.Errorf("workload: job %q: allocation produced %d of %d routers", js.Name, len(routers), need)
+	}
+	w.freeRouters -= need
+	jb.routers = routers
+	for _, r := range routers {
+		for i := 0; i < p.P && len(jb.nodes) < js.Nodes; i++ {
+			node := t.NodeID(r, i)
+			w.nodeJob[node] = int32(j)
+			w.nodeRank[node] = int32(len(jb.nodes))
+			jb.nodes = append(jb.nodes, node)
+		}
+	}
+	for _, pn := range patternNames(js) {
+		rp, err := rankPatternByName(pn, len(jb.nodes), w.root.Split())
+		if err != nil {
+			// Admit validated the names; reaching here is a bug.
+			return fmt.Errorf("workload: job %q: %w", js.Name, err)
+		}
+		jb.patterns = append(jb.patterns, rp)
+	}
+	switch js.Phase.Kind {
+	case PhaseBursty:
+		jb.period = js.Phase.Period
+		jb.onCycles = int64(js.Phase.Duty*float64(js.Phase.Period) + 0.5)
+		if jb.onCycles < 1 {
+			jb.onCycles = 1
+		}
+		if jb.onCycles >= jb.period {
+			jb.onCycles = 0 // full duty degenerates to steady
+		}
+	case PhaseSwitch:
+		jb.period = js.Phase.Period
+	}
+	return nil
+}
+
+// Release returns job j's routers to the free pool and clears its nodes
+// from the node→job map, so the next Place may recycle them. The job's
+// placement history (JobRouters, JobNodeIDs) stays readable for reporting.
+// Releasing an unplaced or already-released job panics: the scheduler owns
+// the lifecycle and a double free is a bug, not a state.
+func (w *Workload) Release(j int) {
+	jb := w.jobs[j]
+	if jb.routers == nil || jb.released {
+		panic(fmt.Sprintf("workload: Release(%d) of unplaced job %q", j, jb.spec.Name))
+	}
+	jb.released = true
+	for _, n := range jb.nodes {
+		if w.nodeJob[n] == int32(j) {
+			w.nodeJob[n] = -1
+		}
+	}
+	for _, r := range jb.routers {
+		w.free[r] = true
+	}
+	w.freeRouters += len(jb.routers)
+}
+
+// JobNodeIDs returns the node ids of job j in rank order (its placement at
+// Place time; empty before placement).
+func (w *Workload) JobNodeIDs(j int) []int {
+	return append([]int(nil), w.jobs[j].nodes...)
+}
