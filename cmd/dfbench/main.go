@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"time"
 
+	"dragonfly/internal/prof"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
 )
@@ -169,21 +170,37 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per point (best-of)")
 	baseline := flag.String("baseline", "", "compare speedups against this earlier output file")
 	maxRegress := flag.Float64("max-regress", 0.20, "with -baseline: tolerated per-scenario speedup drop (fraction)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	// The first three points are the ISSUE's acceptance band (load
 	// 0.1–0.3 on the BenchmarkEngineSequential configuration), then the
-	// saturation guard, then the BenchmarkEngineParallel configuration.
+	// saturation guards past the paper's knee (0.6 and 0.8, where the
+	// flat core's batched loops carry the win), then the
+	// BenchmarkEngineParallel configuration at the same loads.
 	points := []scenario{
 		{Name: "sequential/load010", H: 3, Load: 0.10, Cycles: 1000, Workers: 1},
 		{Name: "sequential/load020", H: 3, Load: 0.20, Cycles: 1000, Workers: 1},
 		{Name: "sequential/load030", H: 3, Load: 0.30, Cycles: 1000, Workers: 1},
 		{Name: "sequential/load060-saturated", H: 3, Load: 0.60, Cycles: 1000, Workers: 1},
+		{Name: "sequential/load080-saturated", H: 3, Load: 0.80, Cycles: 1000, Workers: 1},
 		{Name: "parallel/load010", H: 4, Load: 0.10, Cycles: 500, Workers: 2},
 		{Name: "parallel/load030", H: 4, Load: 0.30, Cycles: 500, Workers: 2},
+		{Name: "parallel/load060-saturated", H: 4, Load: 0.60, Cycles: 500, Workers: 2},
+		{Name: "parallel/load080-saturated", H: 4, Load: 0.80, Cycles: 500, Workers: 2},
 	}
 
 	result := output{

@@ -44,6 +44,7 @@ import (
 
 	"dragonfly/internal/cli"
 	"dragonfly/internal/experiments"
+	"dragonfly/internal/prof"
 	"dragonfly/internal/report"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sweep"
@@ -67,9 +68,20 @@ func main() {
 	ckPath := fs.String("checkpoint", "",
 		"checkpoint file for interrupt/resume (default <out>/checkpoint.jsonl when -out is set; \"off\" disables)")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	base, err := build()
 	if err != nil {

@@ -1,0 +1,52 @@
+// Package prof wires the standard pprof profiles into the command-line
+// tools. Hot-path work (the SoA router core, the experiment pipeline) must
+// be measurable without ad-hoc patches, so every tool that runs simulations
+// exposes -cpuprofile/-memprofile through this package: Start begins CPU
+// profiling, the returned stop function ends it and writes the heap profile.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the flag values: cpu names the CPU
+// profile output file ("" disables), mem the heap profile ("" disables).
+// It returns a stop function that must run before the process exits (defer
+// it from main) and an error when a file cannot be created or CPU
+// profiling cannot start.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

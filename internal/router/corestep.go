@@ -1,0 +1,756 @@
+// The Core's per-cycle hot loop: a stage-for-stage transcription of
+// Router.Step onto the flat arrays. Iteration orders — ascending port
+// scans (bitmask iteration yields set bits in ascending order), VC
+// round-robin starts, the two-pass transit-priority submit loop,
+// arbitration tie-breaks — and every RNG consumption point match
+// Router.Step exactly, which is what keeps the scheduler engines
+// bit-identical to the dense reference engines stepping classic Routers
+// (the cross-engine equivalence tests enforce this).
+//
+// Two scans of Router.Step are replaced by provably equivalent
+// calendar-head reads:
+//
+//   - the allocator's per-port consider(input.busyUntil) for busy inputs
+//     becomes one consider of the transfer calendar head: after
+//     completeTransfers(now) drained everything due, xferDue holds
+//     exactly one entry per input with busyUntil > now, at that cycle —
+//     grant inserts the entry when it sets busyUntil, and nothing else
+//     writes either. The min over busy inputs is the calendar head.
+//   - the link stage's per-port consider(output.releaseAt) for
+//     transmitting outputs becomes one consider of the release calendar
+//     head, by the same argument against popCreditsAndReleases(now)
+//     (releaseAt and linkBusyUntil are set together at each send).
+//
+// Both replace a min over per-port values with the head of a calendar
+// containing exactly those values, so the returned next-event horizon is
+// bit-identical, not merely conservative.
+package router
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dragonfly/internal/packet"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// consider folds a future event cycle into a Step's next-event horizon.
+func consider(nev *int64, t int64) {
+	if *nev < 0 || t < *nev {
+		*nev = t
+	}
+}
+
+// StepRouter advances router r by one cycle and returns its internal
+// next-event horizon (see Router.Step for the full contract). Disjoint
+// routers may be stepped concurrently.
+func (c *Core) StepRouter(r int, now int64) int64 {
+	nev := int64(-1)
+	base := r * c.np
+	c.popCreditsAndReleases(r, base, now)
+	c.popArrivals(r, base, now)
+	c.completeTransfers(r, base, now)
+	c.allocate(r, base, now, &nev)
+	// Candidates left ungranted by the allocator (arbitration losses,
+	// busy or full outputs) are re-requested next cycle; granted inputs
+	// are accounted for inside grant() via inBusy.
+	for k := 0; k < int(c.candInN[r]); k++ {
+		p := int(c.candIn[base+k])
+		if c.inP[base+p].candN > 0 {
+			consider(&nev, now+1)
+			break
+		}
+	}
+	c.linkStage(r, base, now, &nev)
+	return nev
+}
+
+func (c *Core) popCreditsAndReleases(r, base int, now int64) {
+	// Buffer releases: the router-local calendar knows exactly when each
+	// output frees the space of a sent packet.
+	d := &c.relDue[r]
+	for d.head < len(d.q) && d.q[d.head].at <= now {
+		pi := base + int(d.pop().port)
+		if c.outP[pi].relPhits > 0 {
+			c.outP[pi].occ -= c.outP[pi].relPhits
+			c.outQ[pi*c.maxVC+int(c.outP[pi].relVC)].occVC -= c.outP[pi].relPhits
+			c.outP[pi].relPhits = 0
+		}
+	}
+	// Credits: the core always runs event-driven (the scheduler engines
+	// install sinks before the first step), so only outputs with a credit
+	// arriving this cycle are touched. In-core transport first: the credit
+	// rings carry (cycle, vc, phits) directly, no link indirection.
+	mw := c.maskWords
+	for w := 0; w < mw; w++ {
+		pb := w << 6
+		for m := c.crdPendMask[r*mw+w]; m != 0; m &= m - 1 {
+			p := pb + bits.TrailingZeros64(m)
+			pi := base + p
+			q := &c.crdQ[pi]
+			for q.qlen > 0 {
+				ev := c.crdData[q.off+q.head]
+				if ev.at > now {
+					break
+				}
+				if ev.at < now {
+					panic(fmt.Sprintf("router %d: credit event missed at cycle %d (now %d): scheduler failed to wake", r, ev.at, now))
+				}
+				if q.head++; q.head == q.qcap {
+					q.head = 0
+				}
+				if q.qlen--; q.qlen == 0 {
+					c.crdPendMask[r*mw+w] &^= 1 << (uint(p) & 63)
+				}
+				c.extDirty[r] = true
+				s := &c.outQ[pi*c.maxVC+int(ev.vc)]
+				s.credits += ev.phits
+				c.outP[pi].free += ev.phits
+				if s.credits > c.downCapVC[p] {
+					panic(fmt.Sprintf("router %d: credit overflow on port %d vc %d", r, p, ev.vc))
+				}
+			}
+		}
+	}
+	// Classic transport (ports without an event link): routed due entries
+	// paired with Link.PopCredit.
+	d = &c.crdDue[r]
+	for d.head < len(d.q) {
+		at := d.q[d.head].at
+		if at > now {
+			break
+		}
+		if at < now {
+			panic(fmt.Sprintf("router %d: credit event missed at cycle %d (now %d): scheduler failed to wake", r, at, now))
+		}
+		p := int(d.pop().port)
+		c.extDirty[r] = true
+		pi := base + p
+		var vc, phits int
+		if el := c.outW[pi].el; el != nil {
+			vc, phits = el.PopCredit(now)
+		} else {
+			vc, phits = c.outW[pi].link.PopCredit(now)
+		}
+		if phits > 0 {
+			s := &c.outQ[pi*c.maxVC+vc]
+			s.credits += int32(phits)
+			c.outP[pi].free += int32(phits)
+			if s.credits > c.downCapVC[p] {
+				panic(fmt.Sprintf("router %d: credit overflow on port %d vc %d", r, p, vc))
+			}
+		}
+	}
+}
+
+func (c *Core) popArrivals(r, base int, now int64) {
+	// In-core transport: due arrivals sit at the heads of the per-port
+	// rings. Ports are visited in ascending order rather than the
+	// due-queue's time order, which is equivalent: an arrival only touches
+	// its own port's state and consumes no randomness, so same-cycle
+	// arrivals at different ports commute.
+	mw := c.maskWords
+	for w := 0; w < mw; w++ {
+		pb := w << 6
+		for m := c.arrPendMask[r*mw+w]; m != 0; m &= m - 1 {
+			p := pb + bits.TrailingZeros64(m)
+			pi := base + p
+			q := &c.arrQ[pi]
+			for q.qlen > 0 {
+				ev := &c.arrData[q.off+q.head]
+				if ev.at > now {
+					break
+				}
+				if ev.at < now {
+					panic(fmt.Sprintf("router %d: packet arrival at cycle %d popped at cycle %d (receiver slept through it)", r, ev.at, now))
+				}
+				pkt := ev.p
+				ev.p = nil
+				if q.head++; q.head == q.qcap {
+					q.head = 0
+				}
+				if q.qlen--; q.qlen == 0 {
+					c.arrPendMask[r*mw+w] &^= 1 << (uint(p) & 63)
+				}
+				c.extDirty[r] = true
+				routing.OnArrive(c.env, r, pkt, c.class[p] == topology.GlobalPort)
+				pkt.ReadyAt = now + c.pipeline
+				pkt.EnqueuedAt = now
+				s := &c.inQ[pi*c.maxVC+pkt.VC]
+				if s.occ+int32(pkt.Size) > c.inCapVC[p] {
+					panic(fmt.Sprintf("router %d: input buffer overflow port %d vc %d (credit protocol violated)", r, p, pkt.VC))
+				}
+				c.inQPush(pi*c.maxVC+pkt.VC, pkt)
+				s.occ += int32(pkt.Size)
+				c.inP[pi].qTotal++
+				c.inOccMask[r*mw+p>>6] |= 1 << (uint(p) & 63)
+			}
+		}
+	}
+	// Classic transport: routed due entries paired with Link.PopPacket.
+	d := &c.arrDue[r]
+	for d.head < len(d.q) {
+		at := d.q[d.head].at
+		if at > now {
+			break
+		}
+		if at < now {
+			panic(fmt.Sprintf("router %d: packet event missed at cycle %d (now %d): scheduler failed to wake", r, at, now))
+		}
+		p := int(d.pop().port)
+		c.extDirty[r] = true
+		pi := base + p
+		var pkt *packet.Packet
+		if el := c.inW[pi].el; el != nil {
+			pkt = el.PopPacket(now)
+		} else {
+			pkt = c.inW[pi].link.PopPacket(now)
+		}
+		if pkt == nil {
+			continue
+		}
+		routing.OnArrive(c.env, r, pkt, c.class[p] == topology.GlobalPort)
+		pkt.ReadyAt = now + c.pipeline
+		pkt.EnqueuedAt = now
+		vi := pi*c.maxVC + pkt.VC
+		s := &c.inQ[vi]
+		if s.occ+int32(pkt.Size) > c.inCapVC[p] {
+			panic(fmt.Sprintf("router %d: input buffer overflow port %d vc %d (credit protocol violated)", r, p, pkt.VC))
+		}
+		c.inQPush(vi, pkt)
+		s.occ += int32(pkt.Size)
+		c.inP[pi].qTotal++
+		c.inOccMask[r*c.maskWords+p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+func (c *Core) completeTransfers(r, base int, now int64) {
+	d := &c.xferDue[r]
+	for d.head < len(d.q) && d.q[d.head].at <= now {
+		p := int(d.pop().port)
+		pi := base + p
+		pd := &c.inP[pi].pend
+		if !pd.active {
+			continue
+		}
+		pd.active = false
+		vcIdx := int(pd.vc)
+		pkt := c.inQPop(pi*c.maxVC + vcIdx)
+		if c.inP[pi].qTotal--; c.inP[pi].qTotal == 0 {
+			c.inOccMask[r*c.maskWords+p>>6] &^= 1 << (uint(p) & 63)
+		}
+		// Return the credit for the buffer space just freed. Between two
+		// core-stepped routers the credit rides the wake event itself (see
+		// LinkEvent); otherwise it travels through the link classically.
+		if l := c.inW[pi].link; l != nil {
+			at := now + int64(c.inW[pi].lat)
+			if el := c.inW[pi].el; el != nil && c.notify[r] != nil && c.inW[pi].peer >= 0 {
+				c.notify[r](LinkEvent{
+					Router: int(c.inW[pi].peer), Port: int(c.inW[pi].peerPort), At: at,
+					Credit: true, Phits: int32(c.size), PVC: int32(vcIdx),
+				})
+			} else {
+				if el := c.inW[pi].el; el != nil {
+					el.PushCredit(at, vcIdx, c.size)
+				} else {
+					l.PushCredit(at, vcIdx, c.size)
+				}
+				if c.notify[r] != nil && c.inW[pi].peer >= 0 {
+					c.notify[r](LinkEvent{Router: int(c.inW[pi].peer), Port: int(c.inW[pi].peerPort), At: at, Credit: true})
+				}
+			}
+		}
+		if c.class[p] == topology.InjectionPort {
+			pkt.InjectTime = now
+			if c.measuring {
+				c.stats[r].Injected++
+				if j := c.jobByID(r, pkt.Job); j != nil {
+					j.Injected++
+				}
+			}
+		}
+		// Commit the routing decision and the hop.
+		outPort := int(pd.outPort)
+		packet.Action{Kind: pd.kind, Group: int(pd.group)}.Apply(pkt)
+		pkt.VC = int(pd.outVC)
+		switch c.class[outPort] {
+		case topology.LocalPort:
+			pkt.LocalHops++
+		case topology.GlobalPort:
+			pkt.GlobalHops++
+		}
+		pkt.EnqueuedAt = now
+		opi := base + outPort
+		c.outQPush(opi*c.maxVC+pkt.VC, pkt)
+		c.outP[opi].qTotal++
+		c.outOccMask[r*c.maskWords+outPort>>6] |= 1 << (uint(outPort) & 63)
+	}
+}
+
+func (c *Core) allocate(r, base int, now int64, nev *int64) {
+	// Busy inputs, folded in one read: the transfer calendar head (see
+	// the package comment for the equivalence argument).
+	if d := &c.xferDue[r]; d.head < len(d.q) {
+		consider(nev, d.q[d.head].at)
+	}
+	size := int32(c.size)
+	np := c.np
+	maxVC := c.maxVC
+	mw := c.maskWords
+	view := &c.views[r]
+	rnd := c.rnd[r]
+	inP := c.inP
+	cand := c.cand
+	// Gather per-input candidate requests: one NextHop per ready VC head,
+	// in round-robin VC order, ascending port order over occupied ports.
+	cin := c.candIn[base : base+np]
+	cinN := 0
+	for w := 0; w < mw; w++ {
+		m := c.inOccMask[r*mw+w]
+		pb := w << 6
+		for m != 0 {
+			p := pb + bits.TrailingZeros64(m)
+			m &= m - 1
+			pi := base + p
+			if inP[pi].busy > now {
+				continue // frees when the transfer completes (calendar head above)
+			}
+			nvc := int(c.nInVC[p])
+			vbase := pi * maxVC
+			vc := int(c.inP[pi].rrVC)
+			fresh := false
+			for i := 0; i < nvc; i++ {
+				v := vc
+				if vc++; vc == nvc {
+					vc = 0
+				}
+				pkt := c.inQFront(vbase + v)
+				if pkt == nil {
+					continue
+				}
+				if pkt.ReadyAt > now {
+					consider(nev, pkt.ReadyAt)
+					continue
+				}
+				if !fresh {
+					fresh = true
+					inP[pi].candN = 0 // drop stale prior-cycle entries
+					c.inP[pi].granted = false
+					cin[cinN] = int32(p)
+					cinN++
+				}
+				req := c.mech.NextHop(c.env, view, pkt, c.class[p], rnd)
+				cand[vbase+int(inP[pi].candN)] = candRec{
+					vc:    int32(v),
+					port:  int32(req.Port),
+					outVC: int32(req.VC),
+					kind:  req.Action.Kind,
+					group: int32(req.Action.Group),
+				}
+				inP[pi].candN++
+			}
+		}
+	}
+	c.candInN[r] = int32(cinN)
+	if cinN == 0 {
+		return
+	}
+
+	transitFirst := c.arb == TransitOverInjection
+	transitSubmitted := false
+	touched := c.outTouched[base : base+np]
+	touchedN := 0
+	outCand := c.outCand
+	outCandN := c.outCandN
+	for iter := 0; iter < c.allocIter; iter++ {
+		// Submit: each free input proposes its first feasible candidate
+		// (see Router.allocate for the transit-over-injection pass rule).
+		submitted := false
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				if !transitFirst || submitted || transitSubmitted {
+					break
+				}
+			}
+			for k := 0; k < cinN; k++ {
+				p := int(cin[k])
+				pi := base + p
+				if transitFirst {
+					isInj := c.class[p] == topology.InjectionPort
+					if (pass == 0) == isInj {
+						continue
+					}
+				} else if pass == 1 {
+					break
+				}
+				if c.inP[pi].granted || inP[pi].busy > now || inP[pi].candN == 0 {
+					continue
+				}
+				vbase := pi * maxVC
+				for ciIdx := 0; ciIdx < int(inP[pi].candN); ciIdx++ {
+					cd := &cand[vbase+ciIdx]
+					outPort := int(cd.port)
+					opi := base + outPort
+					if c.outP[opi].xbarBusy > now || c.outQ[opi*maxVC+int(cd.outVC)].occVC+size > c.capVC {
+						continue
+					}
+					if outCandN[opi] == 0 {
+						touched[touchedN] = int32(outPort)
+						touchedN++
+					}
+					outCand[opi*np+int(outCandN[opi])] = outCandRec{in: int32(p), idx: int32(ciIdx)}
+					outCandN[opi]++
+					submitted = true
+					if pass == 0 && transitFirst {
+						transitSubmitted = true
+					}
+					break
+				}
+			}
+		}
+		if !submitted {
+			return
+		}
+		// Grant: each output arbitrates among its requesters, in the
+		// submission (ascending-port) order of outTouched.
+		for k := 0; k < touchedN; k++ {
+			outPort := int(touched[k])
+			opi := base + outPort
+			if n := int(outCandN[opi]); n > 0 {
+				inP, ciIdx := c.arbitrate(base, opi, n)
+				c.grant(r, base, now, inP, ciIdx, nev)
+			}
+			outCandN[opi] = 0
+		}
+		touchedN = 0
+	}
+}
+
+// arbitrate picks the winning request among the n requesters submitted
+// to output opi, mirroring Router.arbitrate.
+func (c *Core) arbitrate(base, opi, n int) (inP, ciIdx int32) {
+	reqs := opi * c.np
+	switch c.arb {
+	case TransitOverInjection:
+		// Transit first; round-robin within the preferred class.
+		best := int32(-1)
+		bestCi := int32(0)
+		for k := 0; k < n; k++ {
+			in := c.outCand[reqs+k].in
+			if c.class[in] != topology.InjectionPort {
+				if best == -1 || rrBefore(int(in), int(best), int(c.outP[opi].rr), c.np) {
+					best, bestCi = in, c.outCand[reqs+k].idx
+				}
+			}
+		}
+		if best >= 0 {
+			return best, bestCi
+		}
+		return c.roundRobinPick(opi, n)
+	case AgeBased:
+		best, bestCi := c.outCand[reqs].in, c.outCand[reqs].idx
+		bestAge := c.headGen(base, best, bestCi)
+		for k := 1; k < n; k++ {
+			in, ci := c.outCand[reqs+k].in, c.outCand[reqs+k].idx
+			if age := c.headGen(base, in, ci); age < bestAge || (age == bestAge && in < best) {
+				best, bestCi, bestAge = in, ci, age
+			}
+		}
+		return best, bestCi
+	default:
+		return c.roundRobinPick(opi, n)
+	}
+}
+
+// headGen returns the generation time of the packet a request proposes.
+func (c *Core) headGen(base int, inP, ciIdx int32) int64 {
+	pi := base + int(inP)
+	vc := int(c.cand[pi*c.maxVC+int(ciIdx)].vc)
+	return c.inQFront(pi*c.maxVC + vc).GenTime
+}
+
+func (c *Core) roundRobinPick(opi, n int) (inP, ciIdx int32) {
+	reqs := opi * c.np
+	best, bestCi := c.outCand[reqs].in, c.outCand[reqs].idx
+	for k := 1; k < n; k++ {
+		if in := c.outCand[reqs+k].in; rrBefore(int(in), int(best), int(c.outP[opi].rr), c.np) {
+			best, bestCi = in, c.outCand[reqs+k].idx
+		}
+	}
+	return best, bestCi
+}
+
+// grant commits the allocation of input inP's candidate ciIdx at router r.
+func (c *Core) grant(r, base int, now int64, inP, ciIdx int32, nev *int64) {
+	p := int(inP)
+	pi := base + p
+	cd := c.cand[pi*c.maxVC+int(ciIdx)]
+	vcIdx := int(cd.vc)
+	outPort := int(cd.port)
+	outVC := int(cd.outVC)
+	opi := base + outPort
+	pkt := c.inQFront(pi*c.maxVC + vcIdx)
+
+	// Wait accounting: time spent at the head of (or queued in) the
+	// input buffer beyond the pipeline latency.
+	wait := now - pkt.ReadyAt
+	switch c.class[p] {
+	case topology.InjectionPort:
+		pkt.WaitInj += wait
+	case topology.LocalPort:
+		pkt.WaitLocal += wait
+	case topology.GlobalPort:
+		pkt.WaitGlobal += wait
+	}
+
+	c.inP[pi].busy = now + c.xbar
+	consider(nev, c.inP[pi].busy) // transfer completes, freeing the input
+	c.xferDue[r].insert(c.inP[pi].busy, int32(p))
+	c.inP[pi].pend = pendRec{
+		active:  true,
+		vc:      cd.vc,
+		outPort: cd.port,
+		outVC:   cd.outVC,
+		kind:    cd.kind,
+		group:   cd.group,
+	}
+	rv := int32(vcIdx) + 1
+	if rv == c.nInVC[p] {
+		rv = 0
+	}
+	c.inP[pi].rrVC = rv
+	c.outP[opi].xbarBusy = now + c.xbar
+	c.outP[opi].occ += int32(pkt.Size) // reserve output buffer space now (VCT)
+	c.outQ[opi*c.maxVC+outVC].occVC += int32(pkt.Size)
+	rr := p + 1
+	if rr == c.np {
+		rr = 0
+	}
+	c.outP[opi].rr = int32(rr)
+	c.inP[pi].granted = true
+	c.inP[pi].candN = 0
+	c.stats[r].LastActivity = now
+	if c.trace[r] != nil {
+		c.trace[r](now, TraceGrant, pkt, r, outPort, outVC)
+	}
+}
+
+func (c *Core) linkStage(r, base int, now int64, nev *int64) {
+	// Transmitting outputs, folded in one read: the release calendar
+	// head (see the package comment for the equivalence argument).
+	if d := &c.relDue[r]; d.head < len(d.q) {
+		consider(nev, d.q[d.head].at)
+	}
+	size := int32(c.size)
+	maxVC := c.maxVC
+	mw := c.maskWords
+	outQ := c.outQ
+	for w := 0; w < mw; w++ {
+		m := c.outOccMask[r*mw+w]
+		pb := w << 6
+		for m != 0 {
+			p := pb + bits.TrailingZeros64(m)
+			m &= m - 1
+			pi := base + p
+			if c.outP[pi].linkBusy > now {
+				continue // release fires later (calendar head above)
+			}
+			// Link VC arbitration: round-robin over VCs whose head packet
+			// has a full packet of downstream credit.
+			nvc := int(c.nOutVC[p])
+			link := c.outW[pi].link
+			vbase := pi * maxVC
+			sendVC := -1
+			vc := int(c.outP[pi].rrVC)
+			for i := 0; i < nvc; i++ {
+				v := vc
+				if vc++; vc == nvc {
+					vc = 0
+				}
+				pkt := c.outQFront(vbase + v)
+				if pkt == nil {
+					continue
+				}
+				if link != nil && outQ[vbase+pkt.VC].credits < size {
+					continue // VCT: wait for a full packet of credit
+				}
+				sendVC = v
+				break
+			}
+			if sendVC < 0 {
+				continue
+			}
+			pkt := c.outQPop(vbase + sendVC)
+			if c.outP[pi].qTotal--; c.outP[pi].qTotal == 0 {
+				c.outOccMask[r*mw+w] &^= 1 << (uint(p) & 63)
+			}
+			rv := sendVC + 1
+			if rv == nvc {
+				rv = 0
+			}
+			c.outP[pi].rrVC = int32(rv)
+			if link != nil {
+				outQ[vbase+pkt.VC].credits -= size
+				c.outP[pi].free -= size
+			}
+			// Output-queue wait accounting by link class.
+			wait := now - pkt.EnqueuedAt
+			switch c.class[p] {
+			case topology.GlobalPort:
+				pkt.WaitGlobal += wait
+			default: // local and ejection queues are intra-group queues
+				pkt.WaitLocal += wait
+			}
+			c.outP[pi].linkBusy = now + c.serial
+			c.outP[pi].relAt = now + c.serial
+			c.outP[pi].relPhits += size
+			c.outP[pi].relVC = int32(sendVC)
+			c.relDue[r].insert(c.outP[pi].relAt, int32(p))
+			consider(nev, c.outP[pi].relAt) // buffer release; also frees the serializer
+			if c.trace[r] != nil {
+				c.trace[r](now, TraceLinkSend, pkt, r, p, pkt.VC)
+			}
+			if link != nil {
+				lat := int64(c.outW[pi].lat)
+				at := now + c.serial + lat
+				pkt.LinkLat += lat
+				if el := c.outW[pi].el; el != nil && c.notify[r] != nil && c.outW[pi].peer >= 0 {
+					// In-core transport: the packet rides the wake event.
+					c.notify[r](LinkEvent{Router: int(c.outW[pi].peer), Port: int(c.outW[pi].peerPort), At: at, Pkt: pkt})
+				} else {
+					if el := c.outW[pi].el; el != nil {
+						el.PushPacket(at, pkt)
+					} else {
+						link.PushPacket(at, pkt)
+					}
+					if c.notify[r] != nil && c.outW[pi].peer >= 0 {
+						c.notify[r](LinkEvent{Router: int(c.outW[pi].peer), Port: int(c.outW[pi].peerPort), At: at})
+					}
+				}
+			} else {
+				c.deliver(r, now+c.serial, pkt)
+			}
+			c.stats[r].LastActivity = now
+		}
+	}
+}
+
+func (c *Core) deliver(r int, at int64, pkt *packet.Packet) {
+	pkt.DeliverTime = at
+	if c.jobLive[r] != nil && pkt.Job >= 0 {
+		c.jobLive[r][pkt.Job]++
+	}
+	if c.measuring {
+		s := c.stats[r]
+		s.Delivered++
+		s.DeliveredPhits += int64(pkt.Size)
+		s.BatchPhits[c.batch] += int64(pkt.Size)
+		lat := pkt.TotalLatency()
+		s.LatencySum += lat
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+		}
+		if j := c.jobByID(r, pkt.Job); j != nil {
+			j.Delivered++
+			j.DeliveredPhits += int64(pkt.Size)
+			j.LatencySum += lat
+			if lat > j.MaxLatency {
+				j.MaxLatency = lat
+			}
+			j.Latencies.Observe(lat)
+		}
+		s.Latencies.Observe(lat)
+		base := c.pathCost(pkt.MinLocal, pkt.MinGlobal, pkt.MinLinkLat)
+		s.BaseSum += base
+		s.MisrouteSum += c.pathCost(pkt.LocalHops, pkt.GlobalHops, pkt.LinkLat) - base
+		s.WaitInjSum += pkt.WaitInj
+		s.WaitLocalSum += pkt.WaitLocal
+		s.WaitGlobalSum += pkt.WaitGlobal
+	}
+	if c.trace[r] != nil {
+		c.trace[r](at, TraceDeliver, pkt, r, c.topo.NodePort(pkt.Dst), 0)
+	}
+	if c.hook[r] != nil {
+		c.hook[r](pkt)
+	}
+	c.recycle(pkt)
+}
+
+// pathCost mirrors Router.pathCost over the hoisted per-router constant.
+func (c *Core) pathCost(local, global int, linkLat int64) int64 {
+	return int64(local+global+1)*c.perRouter + linkLat
+}
+
+// inQFront returns the head packet of input VC ring vi, or nil.
+func (c *Core) inQFront(vi int) *packet.Packet {
+	s := &c.inQ[vi]
+	if s.qlen == 0 {
+		return nil
+	}
+	return c.inQData[s.off+s.head]
+}
+
+// inQPush appends a packet to input VC ring vi.
+func (c *Core) inQPush(vi int, p *packet.Packet) {
+	s := &c.inQ[vi]
+	if s.qlen == s.qcap {
+		panic("router: input ring overflow")
+	}
+	i := s.head + s.qlen
+	if i >= s.qcap {
+		i -= s.qcap
+	}
+	c.inQData[s.off+i] = p
+	s.qlen++
+}
+
+// inQPop removes and returns the head packet of input VC ring vi.
+func (c *Core) inQPop(vi int) *packet.Packet {
+	s := &c.inQ[vi]
+	idx := s.off + s.head
+	p := c.inQData[idx]
+	c.inQData[idx] = nil
+	if s.head++; s.head == s.qcap {
+		s.head = 0
+	}
+	s.qlen--
+	s.occ -= int32(p.Size)
+	return p
+}
+
+// outQFront returns the head packet of output VC ring vi, or nil.
+func (c *Core) outQFront(vi int) *packet.Packet {
+	s := &c.outQ[vi]
+	if s.qlen == 0 {
+		return nil
+	}
+	return c.outQData[s.off+s.head]
+}
+
+// outQPush appends a packet to output VC ring vi.
+func (c *Core) outQPush(vi int, p *packet.Packet) {
+	s := &c.outQ[vi]
+	if s.qlen == s.qcap {
+		panic("router: output ring overflow")
+	}
+	i := s.head + s.qlen
+	if i >= s.qcap {
+		i -= s.qcap
+	}
+	c.outQData[s.off+i] = p
+	s.qlen++
+}
+
+// outQPop removes and returns the head packet of output VC ring vi.
+func (c *Core) outQPop(vi int) *packet.Packet {
+	s := &c.outQ[vi]
+	idx := s.off + s.head
+	p := c.outQData[idx]
+	c.outQData[idx] = nil
+	if s.head++; s.head == s.qcap {
+		s.head = 0
+	}
+	s.qlen--
+	return p
+}

@@ -1,6 +1,9 @@
 package router
 
-import "dragonfly/internal/topology"
+import (
+	"dragonfly/internal/packet"
+	"dragonfly/internal/topology"
+)
 
 // Occupancy is a diagnostic snapshot of a router's buffer state, used by
 // tests and the dfsim -debug flag to localise congestion or stalls.
@@ -51,4 +54,63 @@ func (r *Router) Snapshot() Occupancy {
 		}
 	}
 	return s
+}
+
+// StateVector appends the router's complete dynamic state to v and returns
+// it: per-port busy times and round-robin pointers, the pending crossbar
+// transfer, per-VC occupancies and downstream credits, and the identity and
+// routing state of every queued packet. Two routers that simulated the same
+// history flatten to equal vectors, which is what the cross-engine
+// state-equivalence property test (internal/sim) compares. The scheduler
+// engines run on the flat Core and write back into this representation, so
+// equality here also proves the Core import/write-back round-trip lossless.
+// Link contents and the routed-event due-queues are deliberately excluded:
+// packets in flight on a link live in layer-specific structures (ring slots
+// vs event queues) and are compared after arrival instead.
+func (r *Router) StateVector(v []int64) []int64 {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	pkt := func(p *packet.Packet) {
+		v = append(v, int64(p.ID), int64(p.Src), int64(p.Dst), int64(p.VC),
+			int64(p.Phase), int64(p.IntNode), int64(p.IntGroup),
+			b2i(p.Misrouted), b2i(p.LocalMisrouted), b2i(p.SrcDecided),
+			int64(p.LocalHops), int64(p.GlobalHops),
+			p.ReadyAt, p.EnqueuedAt, p.GenTime, p.InjectTime,
+			p.LinkLat, p.WaitInj, p.WaitLocal, p.WaitGlobal)
+	}
+	for i := range r.inputs {
+		in := &r.inputs[i]
+		v = append(v, in.busyUntil, int64(in.rrVC), int64(in.qTotal))
+		pd := &in.pending
+		v = append(v, b2i(pd.active), pd.done, int64(pd.vcIdx),
+			int64(pd.outPort), int64(pd.outVC), int64(pd.action.Kind),
+			int64(pd.action.Group))
+		for vc := range in.vcs {
+			q := &in.vcs[vc]
+			v = append(v, int64(q.occ), int64(q.len()))
+			for k := q.head; k < len(q.pkts); k++ {
+				pkt(q.pkts[k])
+			}
+		}
+	}
+	for i := range r.outputs {
+		o := &r.outputs[i]
+		v = append(v, o.linkBusyUntil, o.crossbarBusyUntil, o.releaseAt,
+			int64(o.releasePhits), int64(o.releaseVC), int64(o.occ),
+			int64(o.qTotal), int64(o.creditsFree), int64(o.rr), int64(o.rrVC))
+		for vc := range o.queues {
+			v = append(v, int64(o.occVC[vc]))
+			if o.credits != nil {
+				v = append(v, int64(o.credits[vc]))
+			}
+			for k := o.qheads[vc]; k < len(o.queues[vc]); k++ {
+				pkt(o.queues[vc][k])
+			}
+		}
+	}
+	return v
 }

@@ -152,11 +152,22 @@ func (o *outputPort) queuePop(vc int) *packet.Packet {
 // returning to an output port of the upstream router. The engine routes
 // each event into the destination router's due-queue (PushDue) and uses it
 // to wake sleeping routers at the right cycle.
+//
+// When both endpoints of a link are stepped by the same Core, the payload
+// travels on the event itself (Pkt for packet arrivals, Phits/PVC for
+// credit returns) and lands in a per-port ring inside the Core: one queue
+// hand-off instead of an EventLink push plus a routed due-queue insert,
+// and no atomics. Classic transport (the per-Router path, and core ports
+// wired to non-event links) leaves the payload fields zero and keeps
+// carrying data through the Link.
 type LinkEvent struct {
-	Router int   // destination router id
-	Port   int   // destination router's port the event lands on
-	At     int64 // arrival cycle
-	Credit bool  // credit return rather than packet arrival
+	Router int            // destination router id
+	Port   int            // destination router's port the event lands on
+	At     int64          // arrival cycle
+	Credit bool           // credit return rather than packet arrival
+	Pkt    *packet.Packet // in-core transport: the arriving packet (else nil)
+	Phits  int32          // in-core transport: credit phits (else 0)
+	PVC    int32          // in-core transport: credit VC
 }
 
 // portDue is one entry of a due-queue: an event falling due at a port.

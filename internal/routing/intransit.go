@@ -99,8 +99,7 @@ func (it *InTransit) globalCandidate(env *Env, rv RouterView, p *packet.Packet, 
 			// One of the current router's own global links.
 			k := rnd.Intn(pp.H)
 			port = pp.A - 1 + k
-			groups := t.DirectGroups(make([]int, 0, pp.H), r)
-			interm = groups[k]
+			interm = t.DirectGroup(r, k)
 			if interm == dstGroup { // that is the minimal link
 				continue
 			}
@@ -110,8 +109,7 @@ func (it *InTransit) globalCandidate(env *Env, rv RouterView, p *packet.Packet, 
 			l := rnd.Intn(pp.A - 1)
 			neighbor := t.LocalNeighbor(r, l)
 			k := rnd.Intn(pp.H)
-			groups := t.DirectGroups(make([]int, 0, pp.H), neighbor)
-			interm = groups[k]
+			interm = t.DirectGroup(neighbor, k)
 			if interm == dstGroup || interm == srcGroup {
 				continue
 			}

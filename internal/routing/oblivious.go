@@ -52,8 +52,7 @@ func chooseValiantNode(env *Env, p *packet.Packet, policy GlobalPolicy, rnd *rng
 	case CRG:
 		// A group over one of the source router's own global links.
 		k := rnd.Intn(t.Params().H)
-		groups := t.DirectGroups(make([]int, 0, t.Params().H), srcRouter)
-		g = groups[k]
+		g = t.DirectGroup(srcRouter, k)
 	default: // RRG: anywhere
 		g = rnd.Intn(t.NumGroups())
 	}

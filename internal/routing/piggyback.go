@@ -88,8 +88,7 @@ func (pb *PiggyBack) decide(env *Env, rv RouterView, p *packet.Packet, rnd *rng.
 		switch pb.policy {
 		case CRG:
 			k := rnd.Intn(t.Params().H)
-			groups := t.DirectGroups(make([]int, 0, t.Params().H), r)
-			g = groups[k]
+			g = t.DirectGroup(r, k)
 			if g == dstGroup || g == srcGroup {
 				continue
 			}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"dragonfly/internal/topology"
+)
+
+// The flat-core hot loop must not allocate once the network reaches steady
+// state: every queue is a fixed-capacity ring carved out of arenas sized at
+// import, the event calendars and scratch buffers reach their high-water
+// capacity during warm-up, and delivered packets recycle through the pool.
+// This is the runtime companion of the construction-bytes gate in
+// cmd/dfbench (both run in CI): that one locks in the build-time memory
+// win, this one locks the steady state at zero allocations per cycle — any
+// regression (a queue falling back to append, a scratch slice growing per
+// cycle) fails the test rather than showing up as GC time in a profile.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector write barriers allocate; the gate runs in the non-race CI job")
+	}
+	cfg := DefaultConfig()
+	cfg.Topology = topology.Balanced(3)
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Pattern = "UN"
+	cfg.Load = 0.6 // saturated: every stage of the hot loop is exercised
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 10000 // phase flags stay in the measurement window
+	cfg.Workers = 1
+	cfg.Seed = 12345
+	net, err := NewNetwork(&cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := newSeqRun(net, cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles, nil)
+	defer run.finish()
+
+	now := int64(0)
+	step := func() {
+		if err := run.cycle(now); err != nil {
+			t.Fatal(err)
+		}
+		now++
+	}
+	// Warm up past the measurement boundary so queues, calendars and the
+	// packet pool reach their steady-state capacities.
+	for now < 600 {
+		step()
+	}
+	if avg := testing.AllocsPerRun(300, step); avg != 0 {
+		t.Fatalf("steady-state cycle allocates %.2f objects/cycle, want 0", avg)
+	}
+	if net.InFlight() == 0 {
+		t.Fatal("network drained during the gate — load 0.6 should keep it saturated")
+	}
+}

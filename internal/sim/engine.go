@@ -113,6 +113,9 @@ func setPhase(net *Network, now, warmup, measure int64, batch *int) {
 		for _, r := range net.Routers {
 			r.SetMeasuring(true)
 		}
+		if net.coreLive {
+			net.core.SetMeasuring(true)
+		}
 	}
 	if now >= warmup {
 		if b := batchIndex(now, warmup, measure); b != *batch {
@@ -120,86 +123,121 @@ func setPhase(net *Network, now, warmup, measure int64, batch *int) {
 			for _, r := range net.Routers {
 				r.SetBatch(b)
 			}
+			if net.coreLive {
+				net.core.SetBatch(b)
+			}
 		}
 	}
 }
 
-func runSequential(net *Network, warmup, total int64, ctrl Controller) error {
-	sched := newScheduler(len(net.Routers))
-	reconf := newReconfigRun(net, ctrl)
-	var wbuf []router.LinkEvent
+// seqRun is one sequential scheduler-engine run in progress. The per-cycle
+// body lives in cycle() so the steady-state allocation gate (alloc_test.go)
+// can drive — and meter — single cycles of exactly the production loop.
+type seqRun struct {
+	net      *Network
+	sched    *scheduler
+	reconf   *reconfigRun
+	core     *router.Core
+	wbuf     []router.LinkEvent
+	pbDirty  []bool
+	warmup   int64
+	measure  int64
+	batch    int
+	lastSeen int64 // most recent activity observed by the watchdog
+}
+
+func newSeqRun(net *Network, warmup, total int64, ctrl Controller) *seqRun {
+	s := &seqRun{
+		net:     net,
+		sched:   newScheduler(len(net.Routers)),
+		reconf:  newReconfigRun(net, ctrl),
+		core:    net.beginCore(),
+		warmup:  warmup,
+		measure: total - warmup,
+		batch:   -1,
+	}
 	sink := func(ev router.LinkEvent) {
 		// Route the event to the destination router immediately (its pop
 		// stages read the due-queue no earlier than the arrival cycle)
 		// and remember it for the post-settle wake pass.
-		net.Routers[ev.Router].PushDue(ev)
-		wbuf = append(wbuf, ev)
+		s.core.PushDue(ev.Router, ev)
+		s.wbuf = append(s.wbuf, ev)
 	}
-	for _, r := range net.Routers {
-		r.SetEventSink(sink)
-	}
-	defer func() {
-		for _, r := range net.Routers {
-			r.SetEventSink(nil)
-		}
-	}()
+	s.core.SetAllSinks(sink)
 	net.engineSteps = 0
-	measure := total - warmup
-	var lastSeen int64 // most recent activity observed by the watchdog
-	batch := -1
 	// Scheduler-aware PiggyBack refresh: a group's PB bits depend only on
 	// its own routers' link loads, which change only when one of those
 	// routers steps — so only groups dirtied by the previous cycle's step
 	// list need a refresh (all groups start dirty).
-	var pbDirty []bool
 	if net.pb != nil {
-		pbDirty = make([]bool, net.Topo.NumGroups())
-		for g := range pbDirty {
-			pbDirty[g] = true
+		s.pbDirty = make([]bool, net.Topo.NumGroups())
+		for g := range s.pbDirty {
+			s.pbDirty[g] = true
 		}
 	}
-	for now := int64(0); now < total; now++ {
-		// Reconfiguration first: membership changes must be visible to this
-		// cycle's generation, and a force-woken router at worst executes a
-		// provable no-op step.
-		reconf.step(now, func(r int) { sched.active[r] = true })
-		setPhase(net, now, warmup, measure, &batch)
-		if net.pb != nil {
-			for g, d := range pbDirty {
-				if d {
-					net.pb.updateGroup(g)
-					pbDirty[g] = false
-				}
+	return s
+}
+
+// finish tears the run down and publishes the step count.
+func (s *seqRun) finish() {
+	s.net.engineSteps = s.sched.steps
+	s.core.SetAllSinks(nil)
+	s.net.endCore()
+}
+
+// cycle advances the simulation by one cycle.
+func (s *seqRun) cycle(now int64) error {
+	net, sched, core := s.net, s.sched, s.core
+	// Reconfiguration first: membership changes must be visible to this
+	// cycle's generation, and a force-woken router at worst executes a
+	// provable no-op step.
+	s.reconf.step(now, func(r int) { sched.active[r] = true })
+	setPhase(net, now, s.warmup, s.measure, &s.batch)
+	if net.pb != nil {
+		for g, d := range s.pbDirty {
+			if d {
+				net.pb.updateGroup(g)
+				s.pbDirty[g] = false
 			}
 		}
-		sched.wakeDue(now)
-		sched.rebuild()
+	}
+	sched.wakeDue(now)
+	sched.rebuild()
+	for _, r := range sched.list {
+		net.generate(r, now)
+		nev := core.StepRouter(r, now)
+		sched.settle(net, r, now, nev)
+	}
+	sched.steps += int64(len(sched.list))
+	if net.pb != nil {
 		for _, r := range sched.list {
-			net.generate(r, now)
-			nev := net.Routers[r].Step(now)
-			sched.settle(net, r, now, nev)
-		}
-		sched.steps += int64(len(sched.list))
-		if net.pb != nil {
-			for _, r := range sched.list {
-				pbDirty[net.Topo.RouterGroup(r)] = true
-			}
-		}
-		// Events created this cycle towards already-sleeping routers
-		// advance their wake-ups (settle saw everything earlier).
-		for _, e := range wbuf {
-			sched.notify(e.Router, e.At)
-		}
-		wbuf = wbuf[:0]
-		if now%watchdogInterval == watchdogInterval-1 {
-			var err error
-			lastSeen, err = watchdog(net, now, lastSeen)
-			if err != nil {
-				return err
-			}
+			s.pbDirty[net.groupOf[r]] = true
 		}
 	}
-	net.engineSteps = sched.steps
+	// Events created this cycle towards already-sleeping routers
+	// advance their wake-ups (settle saw everything earlier).
+	for _, e := range s.wbuf {
+		sched.notify(e.Router, e.At)
+	}
+	s.wbuf = s.wbuf[:0]
+	if now%watchdogInterval == watchdogInterval-1 {
+		var err error
+		s.lastSeen, err = watchdog(net, now, s.lastSeen)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runSequential(net *Network, warmup, total int64, ctrl Controller) error {
+	s := newSeqRun(net, warmup, total, ctrl)
+	defer s.finish()
+	for now := int64(0); now < total; now++ {
+		if err := s.cycle(now); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -245,6 +283,7 @@ func watchdog(net *Network, now, lastSeen int64) (int64, error) {
 func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller) error {
 	n := len(net.Routers)
 	reconf := newReconfigRun(net, ctrl)
+	core := net.beginCore()
 	weight := make([]int64, n) // router-steps, halved at each re-partition
 	shards := balancedSpans(weight, workers, make([]span, 0, workers))
 	spare := make([]span, 0, workers) // second buffer; swaps with shards
@@ -277,15 +316,14 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 	assignSinks := func() {
 		for w := 0; w < workers; w++ {
 			for r := shards[w].lo; r < shards[w].hi; r++ {
-				net.Routers[r].SetEventSink(sinkFns[w])
+				core.SetSink(r, sinkFns[w])
 			}
 		}
 	}
 	assignSinks()
 	defer func() {
-		for _, r := range net.Routers {
-			r.SetEventSink(nil)
-		}
+		core.SetAllSinks(nil)
+		net.endCore()
 	}()
 	net.engineSteps = 0
 
@@ -326,7 +364,7 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 				}
 				for _, r := range lists[w] {
 					net.generate(r, now)
-					wakeAt[r] = net.Routers[r].Step(now)
+					wakeAt[r] = core.StepRouter(r, now)
 				}
 				done <- struct{}{}
 			}
@@ -396,14 +434,14 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 				sched.settle(net, r, now, wakeAt[r])
 				weight[r]++
 				if pbDirty != nil {
-					pbDirty[net.Topo.RouterGroup(r)] = true
+					pbDirty[net.groupOf[r]] = true
 				}
 			}
 			sched.steps += int64(len(lists[w]))
 		}
 		for w := 0; w < workers; w++ {
 			for _, e := range wbuf[w] {
-				net.Routers[e.Router].PushDue(e)
+				core.PushDue(e.Router, e)
 				sched.notify(e.Router, e.At)
 			}
 			wbuf[w] = wbuf[w][:0]

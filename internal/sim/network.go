@@ -64,10 +64,26 @@ type Network struct {
 	// sleep. Each entry is only touched by the worker owning the router.
 	genWake []int64
 
+	// groupOf caches Topology.RouterGroup for the engines' per-step
+	// PiggyBack dirty-marking (a divide per stepped router otherwise).
+	groupOf []int32
+
 	// engineSteps is the number of router-steps the last RunNetwork[Reference]
 	// executed; the scheduler tests and cmd/dfbench read it to quantify how
 	// many quiescent router-cycles were skipped.
 	engineSteps int64
+
+	// core is the structure-of-arrays router state the scheduler engines
+	// step (see router.Core). It is run-scoped: built from the wired
+	// routers when a scheduler engine starts — so it captures any
+	// post-construction rewiring or hand-injected state — and written
+	// back when the engine returns. coreLive is true only while a
+	// scheduler engine is between those two points; the dispatch helpers
+	// below (injection, link loads, in-flight counts, external-event
+	// horizons) read through the core exactly then, and through the
+	// classic routers otherwise (reference engines, pre/post-run).
+	core     *router.Core
+	coreLive bool
 }
 
 // NewNetwork builds and wires a network from the configuration. The traffic
@@ -223,7 +239,46 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 	for r := range net.genWake {
 		net.refreshGenWake(r)
 	}
+	net.groupOf = make([]int32, topo.NumRouters())
+	for r := range net.groupOf {
+		net.groupOf[r] = int32(topo.RouterGroup(r))
+	}
 	return net, nil
+}
+
+// beginCore flattens the routers into the SoA core for a scheduler
+// engine run and returns it; endCore writes the hot state back so
+// everything outside the run keeps seeing the classic representation.
+// The core is rebuilt from the routers at every run start: construction
+// stays out of NewNetwork (the construction-bytes gate measures wiring
+// only) and state injected or rewired between runs is always honoured.
+func (net *Network) beginCore() *router.Core {
+	net.core = router.NewCore(net.Routers)
+	net.coreLive = true
+	return net.core
+}
+
+func (net *Network) endCore() {
+	net.core.WriteBack()
+	net.coreLive = false
+}
+
+// earliestExternal dispatches Router.EarliestExternal to the live
+// representation (the scheduler's settle runs only during core runs,
+// but the helper keeps the invariant in one place).
+func (net *Network) earliestExternal(r int) int64 {
+	if net.coreLive {
+		return net.core.EarliestExternal(r)
+	}
+	return net.Routers[r].EarliestExternal()
+}
+
+// linkLoad dispatches Router.LinkLoad (the PiggyBack refresh input).
+func (net *Network) linkLoad(r, port int) int {
+	if net.coreLive {
+		return net.core.OutputUsed(r, port)
+	}
+	return net.Routers[r].LinkLoad(port)
 }
 
 // nextArrival samples the next Bernoulli(q) success strictly after cycle t.
@@ -263,6 +318,8 @@ func (net *Network) generate(r int, now int64) {
 	}
 	p := net.Topo.Params()
 	rtr := net.Routers[r]
+	core := net.core
+	useCore := net.coreLive
 	base := r * p.P
 	for i := 0; i < p.P; i++ {
 		ns := &net.nodes[base+i]
@@ -283,13 +340,13 @@ func (net *Network) generate(r int, now int64) {
 				if dst < 0 {
 					continue
 				}
-				if rtr.InjectionBacklog(i) >= net.cfg.Router.InjectionQueuePackets {
-					rtr.NoteBacklogged(src)
+				if net.injectionBacklog(core, useCore, rtr, r, i) >= net.cfg.Router.InjectionQueuePackets {
+					net.noteBacklogged(core, useCore, rtr, r, src)
 					continue
 				}
 			} else {
-				if rtr.InjectionBacklog(i) >= net.cfg.Router.InjectionQueuePackets {
-					rtr.NoteBacklogged(src)
+				if net.injectionBacklog(core, useCore, rtr, r, i) >= net.cfg.Router.InjectionQueuePackets {
+					net.noteBacklogged(core, useCore, rtr, r, src)
 					continue
 				}
 				dst = net.pattern.Dest(src, ns.rnd)
@@ -312,10 +369,31 @@ func (net *Network) generate(r int, now int64) {
 			pkt.MinLocal, pkt.MinGlobal = min.Local, min.Global
 			pkt.MinLinkLat = net.minPathLinkLat(src, dst, min)
 			net.mech.OnGenerate(&net.env, pkt, ns.rnd)
-			rtr.EnqueueInjection(now, pkt)
+			if useCore {
+				core.EnqueueInjection(r, now, pkt)
+			} else {
+				rtr.EnqueueInjection(now, pkt)
+			}
 		}
 	}
 	net.refreshGenWake(r)
+}
+
+// injectionBacklog and noteBacklogged dispatch the generation-side
+// router calls of generate to the live representation.
+func (net *Network) injectionBacklog(core *router.Core, useCore bool, rtr *router.Router, r, nodeIdx int) int {
+	if useCore {
+		return core.InjectionBacklog(r, nodeIdx)
+	}
+	return rtr.InjectionBacklog(nodeIdx)
+}
+
+func (net *Network) noteBacklogged(core *router.Core, useCore bool, rtr *router.Router, r, src int) {
+	if useCore {
+		core.NoteBacklogged(r, src)
+	} else {
+		rtr.NoteBacklogged(src)
+	}
 }
 
 // minPathLinkLat prices the links of the unique minimal path from src to
@@ -359,8 +437,12 @@ func (net *Network) EngineSteps() int64 { return net.engineSteps }
 // O(network); intended for conservation checks and the deadlock watchdog.
 func (net *Network) InFlight() int {
 	n := 0
-	for _, r := range net.Routers {
-		n += r.InFlight()
+	if net.coreLive {
+		n = net.core.InFlight()
+	} else {
+		for _, r := range net.Routers {
+			n += r.InFlight()
+		}
 	}
 	for _, l := range net.Links {
 		n += l.InFlight()

@@ -61,15 +61,15 @@ func (s *pbState) updateGroup(g int) {
 	p := s.topo.Params()
 	bits := s.bits[g]
 	for i := 0; i < p.A; i++ {
-		r := s.net.Routers[s.topo.RouterID(g, i)]
+		r := s.topo.RouterID(g, i)
 		total := 0
 		base := p.A - 1
 		for k := 0; k < p.H; k++ {
-			total += r.LinkLoad(base + k)
+			total += s.net.linkLoad(r, base+k)
 		}
 		mean := float64(total) / float64(p.H)
 		for k := 0; k < p.H; k++ {
-			load := float64(r.LinkLoad(base + k))
+			load := float64(s.net.linkLoad(r, base+k))
 			bits[i*p.H+k] = load > mean+s.marginPhits
 		}
 	}

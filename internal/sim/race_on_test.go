@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Its write barriers allocate, so the zero-allocation gate skips.
+const raceEnabled = true

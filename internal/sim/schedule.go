@@ -151,7 +151,7 @@ func (s *scheduler) settle(net *Network, r int, now, nev int64) {
 	if wake == now+1 {
 		return // work due next cycle: stay active
 	}
-	if ext := net.Routers[r].EarliestExternal(); ext >= 0 && (wake < 0 || ext < wake) {
+	if ext := net.earliestExternal(r); ext >= 0 && (wake < 0 || ext < wake) {
 		wake = ext
 		if wake == now+1 {
 			return

@@ -303,6 +303,15 @@ func (t *Topology) GlobalPortTo(r, dst int) int {
 	return port
 }
 
+// DirectGroup returns the group reached over router r's k-th global port:
+// element k of DirectGroups without materialising the slice, for the
+// routing hot path (the engines' zero-allocation gate covers it).
+func (t *Topology) DirectGroup(r, k int) int {
+	g := t.RouterGroup(r)
+	i := t.RouterLocalIndex(r)
+	return (g + t.portOffset[i*t.params.H+k]) % t.groups
+}
+
 // DirectGroups appends to dst the h groups directly connected to router r,
 // in global-port order, and returns the extended slice.
 func (t *Topology) DirectGroups(dst []int, r int) []int {
