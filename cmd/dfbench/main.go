@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -35,6 +36,7 @@ import (
 
 	"dragonfly/internal/prof"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topology"
 )
 
@@ -67,13 +69,31 @@ type construction struct {
 	Ratio      float64 `json:"ring_to_event_ratio"`
 }
 
+// probeOverhead is the probes-on vs probes-off timing of one scenario:
+// the same scheduler-engine run with and without a telemetry recorder
+// sampling at the given cadence, interleaved best-of so machine noise
+// cancels. Gated in-process (see -max-probe-overhead), not against the
+// baseline file: the bound is absolute — telemetry must stay effectively
+// free — not relative to an earlier run.
+type probeOverhead struct {
+	Name     string  `json:"name"`
+	H        int     `json:"balanced_h"`
+	Load     float64 `json:"load"`
+	Cycles   int64   `json:"cycles"`
+	Every    int64   `json:"probe_every"`
+	OffNs    int64   `json:"off_ns"`
+	OnNs     int64   `json:"on_ns"`
+	Overhead float64 `json:"overhead"`
+}
+
 type output struct {
-	Generated    string         `json:"generated"`
-	GoVersion    string         `json:"go_version"`
-	NumCPU       int            `json:"num_cpu"`
-	Reps         int            `json:"reps_best_of"`
-	Scenarios    []scenario     `json:"scenarios"`
-	Construction []construction `json:"construction,omitempty"`
+	Generated    string          `json:"generated"`
+	GoVersion    string          `json:"go_version"`
+	NumCPU       int             `json:"num_cpu"`
+	Reps         int             `json:"reps_best_of"`
+	Scenarios    []scenario      `json:"scenarios"`
+	Construction []construction  `json:"construction,omitempty"`
+	Probes       []probeOverhead `json:"probe_overhead,omitempty"`
 }
 
 func engineCfg(h int, load float64, workers int, cycles int64) sim.Config {
@@ -153,6 +173,52 @@ func measureConstruction(name string, h int) (construction, error) {
 	return c, nil
 }
 
+// measureProbeOverhead times the scheduler engine with probes off and on,
+// strictly interleaved (off, on, off, on, …) and best-of, so a throttling
+// window hits both sides alike. It also checks the probed run stays
+// bit-identical — the overhead number is meaningless if it bought different
+// results.
+func measureProbeOverhead(reps int, every int64) (probeOverhead, error) {
+	po := probeOverhead{
+		Name: fmt.Sprintf("probes/h3-load020-every%d", every),
+		H:    3, Load: 0.20, Cycles: 2000, Every: every,
+	}
+	if reps < 5 {
+		reps = 5 // the 5% bound needs more noise suppression than timing does
+	}
+	cfg := engineCfg(po.H, po.Load, 1, po.Cycles)
+	var bestOff, bestOn time.Duration
+	var offRes, onRes *sim.Result
+	for i := 0; i < reps; i++ {
+		offWall, _, res, err := measure(cfg, 1, sim.RunNetwork)
+		if err != nil {
+			return po, err
+		}
+		if bestOff == 0 || offWall < bestOff {
+			bestOff = offWall
+		}
+		offRes = res
+
+		onCfg := cfg
+		onCfg.Probes = telemetry.NewProbes(telemetry.ProbeConfig{Every: every, Out: io.Discard})
+		onWall, _, res, err := measure(onCfg, 1, sim.RunNetwork)
+		if err != nil {
+			return po, err
+		}
+		if bestOn == 0 || onWall < bestOn {
+			bestOn = onWall
+		}
+		onRes = res
+	}
+	if !identical(offRes, onRes) {
+		return po, fmt.Errorf("%s: probed run diverged from unprobed run", po.Name)
+	}
+	po.OffNs = bestOff.Nanoseconds()
+	po.OnNs = bestOn.Nanoseconds()
+	po.Overhead = float64(bestOn)/float64(bestOff) - 1
+	return po, nil
+}
+
 func identical(a, b *sim.Result) bool {
 	if len(a.PerRouter) != len(b.PerRouter) {
 		return false
@@ -170,6 +236,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per point (best-of)")
 	baseline := flag.String("baseline", "", "compare speedups against this earlier output file")
 	maxRegress := flag.Float64("max-regress", 0.20, "with -baseline: tolerated per-scenario speedup drop (fraction)")
+	maxProbe := flag.Float64("max-probe-overhead", 0.05, "tolerated probes-on slowdown (fraction; 0 disables the probe scenario)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -253,6 +320,20 @@ func main() {
 		result.Construction = append(result.Construction, point)
 		fmt.Printf("%-30s ring %8.2fMB  event %8.2fMB  ratio %.2fx\n",
 			point.Name, float64(point.RingBytes)/1e6, float64(point.EventBytes)/1e6, point.Ratio)
+	}
+
+	if *maxProbe > 0 {
+		po, err := measureProbeOverhead(*reps, 256)
+		if err != nil {
+			fatal(err)
+		}
+		result.Probes = append(result.Probes, po)
+		fmt.Printf("%-30s off %8.2fms  on    %8.2fms  overhead %+.1f%%\n",
+			po.Name, float64(po.OffNs)/1e6, float64(po.OnNs)/1e6, 100*po.Overhead)
+		if po.Overhead > *maxProbe {
+			fatal(fmt.Errorf("%s: probes-on overhead %.1f%% exceeds %.0f%% bound",
+				po.Name, 100*po.Overhead, 100**maxProbe))
+		}
 	}
 
 	f, err := os.Create(*out)

@@ -48,6 +48,7 @@ import (
 	"dragonfly/internal/report"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sweep"
+	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topology"
 )
 
@@ -68,6 +69,8 @@ func main() {
 	ckPath := fs.String("checkpoint", "",
 		"checkpoint file for interrupt/resume (default <out>/checkpoint.jsonl when -out is set; \"off\" disables)")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	listen := fs.String("listen", "", "serve a live introspection endpoint on this address (e.g. :8080)")
+	slowest := fs.Int("slowest", 10, "rows in the end-of-run slowest-tasks table (0 disables)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -138,6 +141,18 @@ func main() {
 		}
 	}
 
+	// The live accumulator always runs (it also feeds the end-of-run
+	// slowest-tasks table); -listen additionally serves it over HTTP.
+	live := telemetry.NewLive()
+	live.SetTotal(pipe.TotalPoints())
+	if *listen != "" {
+		addr, err := live.Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dfexperiments: live endpoint at http://%s/\n", addr)
+	}
+
 	// First Ctrl-C cancels the pipeline gracefully: running simulations
 	// drain, the checkpoint stays consistent, and a rerun resumes. A
 	// second Ctrl-C kills the process the usual way.
@@ -146,6 +161,11 @@ func main() {
 
 	start := time.Now()
 	progress := func(p experiments.Progress) {
+		var wall, cpu float64
+		if p.Record != nil && !p.PointRestored {
+			wall, cpu = p.Record.WallSeconds, p.Record.CPUSeconds
+		}
+		live.NotePoint(p.Task, wall, cpu, p.PointRestored)
 		if *quiet {
 			return
 		}
@@ -180,7 +200,29 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	printSlowest(live.Timings(), *slowest)
 	fmt.Printf("\ndfexperiments: completed in %v\n", time.Since(start).Round(time.Second))
+}
+
+// printSlowest renders the per-task cost table, slowest first. Restored
+// points carried no fresh cost, so a fully resumed task shows zero time.
+func printSlowest(timings []telemetry.TaskTiming, max int) {
+	if max <= 0 || len(timings) == 0 {
+		return
+	}
+	if len(timings) > max {
+		timings = timings[:max]
+	}
+	fmt.Printf("\n== slowest tasks ==\n\n")
+	t := report.NewTable("Task", "Points", "Restored", "Wall(s)", "CPU(s)")
+	for _, tt := range timings {
+		t.AddRow(tt.Task,
+			fmt.Sprintf("%d", tt.Points),
+			fmt.Sprintf("%d", tt.Restored),
+			fmt.Sprintf("%.1f", tt.WallSeconds),
+			fmt.Sprintf("%.1f", tt.CPUSeconds))
+	}
+	fmt.Print(t.String())
 }
 
 // render prints one task's tables and writes its CSV.

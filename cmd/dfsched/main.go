@@ -64,6 +64,7 @@ func main() {
 	seeds := fs.Int("seeds", 1, "replicate the trace over this many seeds (base -seed upward) on the sweep pool")
 	seedJobs := fs.Int("seed-jobs", 0, "concurrent per-seed simulations when -seeds > 1 (0 = NumCPU)")
 	asJSON := fs.Bool("json", false, "emit the result(s) as JSON")
+	attachProbes := cli.ProbeFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -101,6 +102,10 @@ func main() {
 		fatal(err)
 	}
 
+	probeClose, err := attachProbes(&cfg)
+	if err != nil {
+		fatal(err)
+	}
 	results := make([]*scheduler.Result, *seeds)
 	errs := make([]error, *seeds)
 	if *seeds == 1 {
@@ -109,8 +114,16 @@ func main() {
 		sweep.RunTasks(*seeds, *seedJobs, func(i int) {
 			c := cfg
 			c.Seed = cfg.Seed + uint64(i)
+			if i != 0 {
+				// A probe recorder belongs to exactly one run: probe
+				// the base seed's replica only.
+				c.Probes = nil
+			}
 			results[i], errs[i] = dragonfly.RunSchedule(c, trace)
 		})
+	}
+	if err := probeClose(); err != nil {
+		fatal(err)
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -14,11 +14,10 @@ import (
 	"strings"
 
 	"dragonfly/internal/cli"
-	"dragonfly/internal/packet"
 	"dragonfly/internal/report"
-	"dragonfly/internal/router"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topology"
 )
 
@@ -33,6 +32,9 @@ func main() {
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
 	traceNode := fs.Int("trace", -1, "print the router-event trace of packets injected by this node")
 	traceMax := fs.Int("trace-max", 100, "maximum trace lines to print")
+	traceOut := fs.String("trace-out", "", "write a Perfetto/Chrome trace JSON of sampled packets to this file")
+	traceSample := fs.Uint64("trace-sample", 1, "trace 1-in-N packets by packet ID (with -trace-out)")
+	attachProbes := cli.ProbeFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -51,17 +53,20 @@ func main() {
 	cfg.Pattern = *pattern
 	cfg.Load = *load
 
-	if *traceNode >= 0 {
-		cfg.Workers = 1 // keep the trace stream ordered
-		lines := 0
-		cfg.Trace = func(now int64, kind router.TraceKind, p *packet.Packet, rid, port, vc int) {
-			if p.Src != *traceNode || lines >= *traceMax {
-				return
-			}
-			lines++
-			fmt.Printf("t=%-8d %-8s pkt=%x dst=%d router=%d port=%d vc=%d hops=l%d/g%d phase=%v\n",
-				now, kind, p.ID, p.Dst, rid, port, vc, p.LocalHops, p.GlobalHops, p.Phase)
+	if *traceNode >= 0 || *traceOut != "" {
+		sample := *traceSample
+		if *traceNode >= 0 {
+			// Node filtering needs every packet's events, so ignore
+			// the ID sampling in that mode.
+			sample = 1
 		}
+		routers := cfg.Topology.Groups() * cfg.Topology.A
+		cfg.Tracer = telemetry.NewTracer(routers, sample, 1<<20)
+	}
+
+	probeClose, err := attachProbes(&cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *debug {
@@ -73,6 +78,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := probeClose(); err != nil {
+		fatal(err)
+	}
+	if cfg.Tracer != nil {
+		if *traceNode >= 0 {
+			printTrace(cfg.Tracer, *traceNode, *traceMax)
+		}
+		if *traceOut != "" {
+			if err := writeTrace(cfg.Tracer, *traceOut); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	if *asJSON {
 		if err := report.WriteResultJSON(os.Stdout, res); err != nil {
 			fatal(err)
@@ -80,6 +98,39 @@ func main() {
 		return
 	}
 	printResult(cfg, res, *group)
+}
+
+// printTrace prints the merged event stream of packets injected by one node
+// in time order, up to max lines.
+func printTrace(tr *telemetry.Tracer, node, max int) {
+	lines := 0
+	for _, e := range tr.Events() {
+		if int(e.Src) != node || lines >= max {
+			if lines >= max {
+				break
+			}
+			continue
+		}
+		lines++
+		fmt.Printf("t=%-8d %-8s pkt=%x dst=%d router=%d port=%d vc=%d hops=l%d/g%d phase=%v\n",
+			e.Now, e.Kind, e.ID, e.Dst, e.Router, e.Port, e.VC, e.LocalHops, e.GlobalHops, e.Phase)
+	}
+}
+
+// writeTrace exports the sampled packet trace as Perfetto/Chrome trace JSON.
+func writeTrace(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePerfetto(f, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if dropped := tr.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "dfsim: trace buffers full, dropped %d events\n", dropped)
+	}
+	return f.Close()
 }
 
 func printResult(cfg sim.Config, res *sim.Result, group int) {
@@ -99,6 +150,13 @@ func printResult(cfg sim.Config, res *sim.Result, group int) {
 	fmt.Printf("delivered:  %d packets in %d cycles (%.1fs wall)\n",
 		res.Delivered(), res.MeasuredCycles, res.Wall.Seconds())
 	fmt.Printf("group %d injections: %v\n", group, res.GroupInjections(group))
+	if tm := res.Telemetry; tm != nil {
+		fmt.Printf("probes:     %d samples every %d cycles; peak in-flight %d, peak queued %d phits, peak credit-stalls %d, PB flips %d\n",
+			tm.Samples, tm.Every, tm.PeakInFlight, tm.PeakQueuedPhits, tm.PeakCreditStalls, tm.PBFlips)
+		if tm.WriteError != "" {
+			fmt.Fprintf(os.Stderr, "dfsim: probe write error: %s\n", tm.WriteError)
+		}
+	}
 }
 
 // runDebug executes the simulation with direct network access and dumps

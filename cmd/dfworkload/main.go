@@ -63,6 +63,7 @@ func main() {
 		"concurrent interference simulations — solo baselines and matrix pairs (0 = NumCPU)")
 	group := fs.Int("group", 0, "group whose per-router injections to print")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	attachProbes := cli.ProbeFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -88,10 +89,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	probeClose, err := attachProbes(&cfg)
+	if err != nil {
+		fatal(err)
+	}
 	res, err := sim.RunWithPattern(cfg, wl)
 	if err != nil {
 		fatal(err)
 	}
+	if err := probeClose(); err != nil {
+		fatal(err)
+	}
+	// A probe recorder belongs to exactly one run: the solo/interference
+	// baselines below run unprobed.
+	cfg.Probes = nil
 
 	// Both interference metrics divide by the same solo baselines, so the
 	// N solo runs are paid once even when both flags are set.

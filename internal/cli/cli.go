@@ -13,12 +13,15 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
 	"dragonfly/internal/router"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topology"
 	"dragonfly/internal/traffic"
 )
@@ -97,6 +100,34 @@ func CommonFlags(fs *flag.FlagSet) func() (sim.Config, error) {
 		}
 		cfg.LatencyModel = model
 		return cfg, nil
+	}
+}
+
+// ProbeFlags registers the telemetry probe flags shared by the df* tools
+// and returns an attacher that, after flag parsing, wires a probe recorder
+// into the config when -probe-every is set. The returned close function
+// (never nil on success) releases the probe output file; call it after the
+// run, before reading the result.
+func ProbeFlags(fs *flag.FlagSet) func(cfg *sim.Config) (func() error, error) {
+	every := fs.Int64("probe-every", 0, "sample telemetry probes every N cycles (0 = off)")
+	out := fs.String("probe-out", "-", "probe time-series JSONL destination ('-' = stdout)")
+	return func(cfg *sim.Config) (func() error, error) {
+		noop := func() error { return nil }
+		if *every <= 0 {
+			return noop, nil
+		}
+		w := io.Writer(os.Stdout)
+		closeFn := noop
+		if *out != "-" && *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return nil, err
+			}
+			w = f
+			closeFn = f.Close
+		}
+		cfg.Probes = telemetry.NewProbes(telemetry.ProbeConfig{Every: *every, Out: w})
+		return closeFn, nil
 	}
 }
 

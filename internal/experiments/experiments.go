@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dragonfly/internal/prof"
 	"dragonfly/internal/router"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/sweep"
@@ -320,6 +321,12 @@ type Progress struct {
 	Done, Total int
 	// Restored counts the points satisfied from the checkpoint.
 	Restored int
+	// Record is the record of the point this observation is about —
+	// freshly completed, or restored from the checkpoint (then
+	// PointRestored is set and the record's timings are from the run
+	// that originally produced it).
+	Record        *sweep.Record
+	PointRestored bool
 }
 
 // TaskResult pairs a task with its aggregated series.
@@ -341,13 +348,15 @@ type TaskResult struct {
 func (p *Pipeline) Run(ctx context.Context, ck *sweep.Checkpoint, progress func(Progress)) ([]TaskResult, error) {
 	total := p.TotalPoints()
 	var done, restored atomic.Int64
-	note := func(task string) {
+	note := func(task string, rec *sweep.Record, wasRestored bool) {
 		if progress != nil {
 			progress(Progress{
-				Task:     task,
-				Done:     int(done.Load()),
-				Total:    total,
-				Restored: int(restored.Load()),
+				Task:          task,
+				Done:          int(done.Load()),
+				Total:         total,
+				Restored:      int(restored.Load()),
+				Record:        rec,
+				PointRestored: wasRestored,
 			})
 		}
 	}
@@ -406,7 +415,7 @@ func (p *Pipeline) Run(ctx context.Context, ck *sweep.Checkpoint, progress func(
 				recs[i] = rec
 				done.Add(1)
 				restored.Add(1)
-				note(t.Name)
+				note(t.Name, &recs[i], true)
 				continue
 			}
 			pending = append(pending, i)
@@ -422,7 +431,9 @@ func (p *Pipeline) Run(ctx context.Context, ck *sweep.Checkpoint, progress func(
 			Context:  ctx,
 		}, func(k int) {
 			i := pending[k]
+			cpu0 := prof.CPUSeconds()
 			rec := sweep.RecordOf(t.Name, t.Grid.RunPoint(pts[i]))
+			rec.CPUSeconds = prof.CPUSeconds() - cpu0
 			recs[i] = rec
 			if err := ck.Put(rec); err != nil {
 				// Storage trouble must not kill the sweep — the run
@@ -435,7 +446,7 @@ func (p *Pipeline) Run(ctx context.Context, ck *sweep.Checkpoint, progress func(
 				ckMu.Unlock()
 			}
 			done.Add(1)
-			note(t.Name)
+			note(t.Name, &recs[i], false)
 		})
 
 		runs[t.Name] = &taskRun{batch: batch, recs: recs}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 )
 
 // Start begins profiling according to the flag values: cpu names the CPU
@@ -49,4 +50,21 @@ func Start(cpu, mem string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// CPUSeconds returns the process's cumulative CPU time (user + system) in
+// seconds, from getrusage. Deltas around a code region measure the CPU it
+// consumed — process-wide, so under concurrent workers a region's delta
+// also includes whatever else the process ran meanwhile (an upper bound,
+// still useful for ranking the expensive simulation points of a sweep).
+func CPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return timevalSeconds(ru.Utime) + timevalSeconds(ru.Stime)
+}
+
+func timevalSeconds(t syscall.Timeval) float64 {
+	return float64(t.Sec) + float64(t.Usec)/1e6
 }

@@ -6,6 +6,7 @@ import (
 
 	"dragonfly/internal/sim"
 	"dragonfly/internal/stats"
+	"dragonfly/internal/telemetry"
 )
 
 // ResultJSON is the stable machine-readable form of a simulation result,
@@ -36,6 +37,9 @@ type ResultJSON struct {
 	// (dfworkload -interference-matrix); row = victim, column = paired
 	// job. Present only when the matrix was computed.
 	InterferenceMatrix [][]float64 `json:"interference_matrix,omitempty"`
+	// Telemetry is the probe-run summary, present only when the run
+	// sampled telemetry probes.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // JobJSON is the machine-readable per-job record of a workload run.
@@ -107,6 +111,7 @@ func NewWorkloadJSON(res *sim.Result, interference []float64) ResultJSON {
 		Injections:  res.Injections(),
 		WallSeconds: res.Wall.Seconds(),
 		Jobs:        newJobsJSON(res, interference),
+		Telemetry:   res.Telemetry,
 	}
 }
 

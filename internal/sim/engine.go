@@ -137,6 +137,7 @@ type seqRun struct {
 	net      *Network
 	sched    *scheduler
 	reconf   *reconfigRun
+	probes   *probeRun
 	core     *router.Core
 	wbuf     []router.LinkEvent
 	pbDirty  []bool
@@ -151,6 +152,7 @@ func newSeqRun(net *Network, warmup, total int64, ctrl Controller) *seqRun {
 		net:     net,
 		sched:   newScheduler(len(net.Routers)),
 		reconf:  newReconfigRun(net, ctrl),
+		probes:  newProbeRun(net, warmup),
 		core:    net.beginCore(),
 		warmup:  warmup,
 		measure: total - warmup,
@@ -183,6 +185,7 @@ func (s *seqRun) finish() {
 	s.net.engineSteps = s.sched.steps
 	s.core.SetAllSinks(nil)
 	s.net.endCore()
+	s.probes.finish()
 }
 
 // cycle advances the simulation by one cycle.
@@ -192,6 +195,7 @@ func (s *seqRun) cycle(now int64) error {
 	// cycle's generation, and a force-woken router at worst executes a
 	// provable no-op step.
 	s.reconf.step(now, func(r int) { sched.active[r] = true })
+	s.probes.step(now)
 	setPhase(net, now, s.warmup, s.measure, &s.batch)
 	if net.pb != nil {
 		for g, d := range s.pbDirty {
@@ -283,6 +287,8 @@ func watchdog(net *Network, now, lastSeen int64) (int64, error) {
 func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller) error {
 	n := len(net.Routers)
 	reconf := newReconfigRun(net, ctrl)
+	probes := newProbeRun(net, warmup)
+	defer probes.finish()
 	core := net.beginCore()
 	weight := make([]int64, n) // router-steps, halved at each re-partition
 	shards := balancedSpans(weight, workers, make([]span, 0, workers))
@@ -385,6 +391,7 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 		// reconfiguration controller, which must run before this cycle's
 		// active lists are built so force-woken routers are stepped.
 		reconf.step(now, func(r int) { sched.active[r] = true })
+		probes.step(now)
 		if now > 0 && now%rebalanceInterval == 0 {
 			if fresh := balancedSpans(weight, workers, spare); !spansEqual(fresh, shards) {
 				shards, spare = fresh, shards[:0]
@@ -463,11 +470,14 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 // scheduler engines are verified against.
 func runSequentialRef(net *Network, warmup, total int64, ctrl Controller) error {
 	reconf := newReconfigRun(net, ctrl)
+	probes := newProbeRun(net, warmup)
+	defer probes.finish()
 	measure := total - warmup
 	var lastSeen int64
 	batch := -1
 	for now := int64(0); now < total; now++ {
 		reconf.step(now, nil)
+		probes.step(now)
 		setPhase(net, now, warmup, measure, &batch)
 		if net.pb != nil {
 			for g := 0; g < net.Topo.NumGroups(); g++ {
@@ -494,6 +504,8 @@ func runSequentialRef(net *Network, warmup, total int64, ctrl Controller) error 
 // per phase), kept as the reference for the parallel scheduler path.
 func runParallelRef(net *Network, warmup, total int64, workers int, ctrl Controller) error {
 	reconf := newReconfigRun(net, ctrl)
+	probes := newProbeRun(net, warmup)
+	defer probes.finish()
 	shards := make([]span, workers)
 	n := len(net.Routers)
 	for w := 0; w < workers; w++ {
@@ -539,6 +551,7 @@ func runParallelRef(net *Network, warmup, total int64, workers int, ctrl Control
 	batch := -1
 	for now := int64(0); now < total; now++ {
 		reconf.step(now, nil) // workers quiescent between cycles
+		probes.step(now)
 		setPhase(net, now, warmup, measure, &batch)
 		phases := 1
 		if net.pb != nil {

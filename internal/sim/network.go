@@ -10,6 +10,7 @@ import (
 	"dragonfly/internal/rng"
 	"dragonfly/internal/router"
 	"dragonfly/internal/routing"
+	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topology"
 	"dragonfly/internal/traffic"
 )
@@ -84,6 +85,10 @@ type Network struct {
 	// classic routers otherwise (reference engines, pre/post-run).
 	core     *router.Core
 	coreLive bool
+
+	// telemetry is the probe summary of the most recent engine run (nil
+	// without probes); newResult attaches it to the Result.
+	telemetry *telemetry.Summary
 }
 
 // NewNetwork builds and wires a network from the configuration. The traffic
@@ -135,8 +140,11 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 	routerRng := root.Split()
 	for r := range net.Routers {
 		net.Routers[r] = router.New(r, topo, &rcfg, mech, &net.env, routerRng.Split(), recycle)
-		if cfg.Trace != nil {
-			net.Routers[r].SetTrace(cfg.Trace)
+		if cfg.Tracer != nil {
+			// Each router gets its own shard hook; the engines (and the
+			// core import) keep the per-router single-goroutine delivery
+			// the tracer's lock-free buffers rely on.
+			net.Routers[r].SetTrace(cfg.Tracer.Hook(r))
 		}
 	}
 

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"dragonfly/internal/router"
+	"dragonfly/internal/telemetry"
+)
+
+// The telemetry cadence hook. Like the reconfiguration Controller
+// (reconfig.go), probes run at the top of a cycle, on the coordinator,
+// with every engine worker quiescent — the one point where the network
+// state is both stable and proven bit-identical across engines and worker
+// counts at every cycle boundary. A probe is a pure read of that state
+// (per-router stats accumulators, queue occupancies, link serializer
+// deadlines, PB bits), so enabling it cannot change results, and the
+// sampled series themselves are engine- and worker-invariant. A nil
+// *probeRun is inert: a run without probes pays one nil check per cycle
+// and allocates nothing.
+
+// probeSource adapts the Network to telemetry.Source, dispatching to the
+// flat core during scheduler-engine runs and to the classic routers
+// otherwise — both expose the same probe accessors (router/probe.go) over
+// state that is identical at cycle boundaries.
+type probeSource struct {
+	net    *Network
+	warmup int64
+}
+
+// Shape implements telemetry.Source.
+func (ps *probeSource) Shape() telemetry.Shape {
+	net := ps.net
+	p := net.Topo.Params()
+	jobs := 0
+	if net.jobs != nil {
+		jobs = net.jobs.NumJobs()
+	}
+	nr := net.Topo.NumRouters()
+	return telemetry.Shape{
+		Groups:        net.Topo.NumGroups(),
+		Routers:       nr,
+		Nodes:         net.Topo.NumNodes(),
+		Jobs:          jobs,
+		NodesPerGroup: p.A * p.P,
+		PacketSize:    net.cfg.Router.PacketSize,
+		LocalLinks:    nr * (p.A - 1),
+		GlobalLinks:   nr * p.H,
+		MeasureFrom:   ps.warmup,
+	}
+}
+
+// Collect implements telemetry.Source: one instantaneous observation at
+// the start of cycle now.
+func (ps *probeSource) Collect(now int64, s *telemetry.Snapshot) {
+	net := ps.net
+	s.InFlight = net.InFlight()
+	s.LocalBusy, s.GlobalBusy, s.CreditStalls = 0, 0, 0
+	for g := range s.Groups {
+		s.Groups[g] = telemetry.GroupCounters{}
+	}
+	for r := range net.Routers {
+		g := int(net.groupOf[r])
+		lp := net.probeLinks(r, now)
+		s.LocalBusy += lp.LocalBusy
+		s.GlobalBusy += lp.GlobalBusy
+		s.CreditStalls += lp.CreditStalled
+		inQ, outQ := net.probeQueues(r)
+		gc := &s.Groups[g]
+		gc.InQPhits += inQ
+		gc.OutQPhits += outQ
+		// Stats accumulators are aliased by the core, so reading them
+		// through the classic structs is correct during core runs too.
+		st := net.Routers[r].Stats()
+		gc.Injected += st.Injected
+		gc.DeliveredPhits += st.DeliveredPhits
+	}
+	for j := range s.Jobs {
+		s.Jobs[j] = telemetry.JobCounters{Delivered: net.LiveJobDelivered(j, nil)}
+	}
+	if net.pb == nil {
+		s.PB, s.PBSet = nil, 0
+		return
+	}
+	// Pack the PiggyBack bits (per group: a*h bools) into one flat word
+	// vector for cheap flip counting in the recorder.
+	perGroup := len(net.pb.bits[0])
+	words := (len(net.pb.bits)*perGroup + 63) / 64
+	if len(s.PB) != words {
+		s.PB = make([]uint64, words)
+	}
+	for i := range s.PB {
+		s.PB[i] = 0
+	}
+	s.PBSet = 0
+	idx := 0
+	for _, bits := range net.pb.bits {
+		for _, b := range bits {
+			if b {
+				s.PB[idx>>6] |= 1 << (uint(idx) & 63)
+				s.PBSet++
+			}
+			idx++
+		}
+	}
+}
+
+// probeLinks and probeQueues dispatch the router probe accessors to the
+// live representation.
+func (net *Network) probeLinks(r int, now int64) router.LinkProbe {
+	if net.coreLive {
+		return net.core.ProbeLinks(r, now)
+	}
+	return net.Routers[r].ProbeLinks(now)
+}
+
+func (net *Network) probeQueues(r int) (int64, int64) {
+	if net.coreLive {
+		return net.core.ProbeQueues(r)
+	}
+	return net.Routers[r].ProbeQueues()
+}
+
+// probeRun drives a run's telemetry probes. A nil *probeRun is inert, so
+// engines call step/finish unconditionally (the reconfigRun pattern).
+type probeRun struct {
+	probes *telemetry.Probes
+	src    probeSource
+	every  int64
+}
+
+// newProbeRun wires cfg.Probes to the network for one engine run, or
+// returns nil when probing is off.
+func newProbeRun(net *Network, warmup int64) *probeRun {
+	p := net.cfg.Probes
+	if p == nil {
+		return nil
+	}
+	return &probeRun{
+		probes: p,
+		src:    probeSource{net: net, warmup: warmup},
+		every:  p.Every(),
+	}
+}
+
+// step samples the network when cycle now falls on the cadence. Must run
+// at the top of the cycle, with workers quiescent, at the same point in
+// every engine.
+func (p *probeRun) step(now int64) {
+	if p == nil || now%p.every != 0 {
+		return
+	}
+	p.probes.Observe(now, &p.src)
+}
+
+// finish publishes the run summary onto the network, where newResult
+// picks it up.
+func (p *probeRun) finish() {
+	if p == nil {
+		return
+	}
+	p.net().telemetry = p.probes.Finish()
+}
+
+func (p *probeRun) net() *Network { return p.src.net }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dragonfly/internal/stats"
+	"dragonfly/internal/telemetry"
 )
 
 // Result holds the measurements of one simulation run.
@@ -32,6 +33,10 @@ type Result struct {
 	Wall time.Duration
 	// Seed echoes the run's seed.
 	Seed uint64
+	// Telemetry is the probe-run summary when Config.Probes was set
+	// (nil otherwise). The full time-series goes to the probe writer;
+	// this is the reduced view that travels with the result.
+	Telemetry *telemetry.Summary
 }
 
 func newResult(net *Network, cfg *Config, wall time.Duration) *Result {
@@ -45,6 +50,7 @@ func newResult(net *Network, cfg *Config, wall time.Duration) *Result {
 		RoutersPerGroup: cfg.Topology.A,
 		Wall:            wall,
 		Seed:            cfg.Seed,
+		Telemetry:       net.telemetry,
 	}
 	for i, r := range net.Routers {
 		res.PerRouter[i] = *r.Stats()

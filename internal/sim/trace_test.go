@@ -1,59 +1,64 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 
-	"dragonfly/internal/packet"
 	"dragonfly/internal/router"
+	"dragonfly/internal/telemetry"
 )
 
-type traceEvent struct {
-	now    int64
-	kind   router.TraceKind
-	id     uint64
-	router int
-	port   int
-}
-
-// A traced packet's event stream must be temporally ordered, contain one
-// grant+send pair per router visited, and end with a delivery at the
-// destination router.
-func TestTraceReconstructsPaths(t *testing.T) {
+// traceRun executes one traced run and returns the merged event stream.
+func traceRun(t *testing.T, workers int) []telemetry.Event {
+	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Mechanism = "Obl-RRG"
 	cfg.Pattern = "ADVc"
 	cfg.Load = 0.2
 	cfg.WarmupCycles = 200
 	cfg.MeasureCycles = 800
-	cfg.Workers = 1 // single-threaded so the plain slice below is safe
-
-	events := map[uint64][]traceEvent{}
-	cfg.Trace = func(now int64, kind router.TraceKind, p *packet.Packet, rid, port, vc int) {
-		events[p.ID] = append(events[p.ID], traceEvent{now, kind, p.ID, rid, port})
-	}
+	cfg.Workers = workers
+	cfg.Tracer = telemetry.NewTracer(cfg.Topology.Groups()*cfg.Topology.A, 1, 1<<20)
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Delivered() == 0 || len(events) == 0 {
+	if res.Delivered() == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if cfg.Tracer.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d events", cfg.Tracer.Dropped())
+	}
+	events := cfg.Tracer.Events()
+	if len(events) == 0 {
 		t.Fatal("nothing traced")
 	}
+	return events
+}
 
+// A traced packet's event stream must be temporally ordered, contain one
+// grant+send pair per router visited, and end with a delivery at the
+// destination router. The tracer's per-router buffers make this safe at
+// any worker count.
+func TestTraceReconstructsPaths(t *testing.T) {
+	events := traceRun(t, 1)
+	ids, byID := telemetry.PerPacket(events)
 	checked := 0
-	for id, evs := range events {
+	for _, id := range ids {
+		evs := byID[id]
 		last := evs[len(evs)-1]
-		if last.kind != router.TraceDeliver {
+		if last.Kind != router.TraceDeliver {
 			continue // packet still in flight at simulation end
 		}
 		checked++
 		var prev int64 = -1
 		grants, sends := 0, 0
 		for _, e := range evs {
-			if e.now < prev {
+			if e.Now < prev {
 				t.Fatalf("packet %d: time went backwards in trace", id)
 			}
-			prev = e.now
-			switch e.kind {
+			prev = e.Now
+			switch e.Kind {
 			case router.TraceGrant:
 				grants++
 			case router.TraceLinkSend:
@@ -72,6 +77,24 @@ func TestTraceReconstructsPaths(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no delivered packet fully traced")
+	}
+}
+
+// The merged trace stream is identical at every worker count: per-router
+// shards depend only on each router's own event order, and the merge is a
+// deterministic sort.
+func TestTraceWorkerInvariance(t *testing.T) {
+	ref := traceRun(t, 1)
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		got := traceRun(t, workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d events, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: event %d differs: %+v vs %+v", workers, i, got[i], ref[i])
+			}
+		}
 	}
 }
 

@@ -40,6 +40,9 @@ type Record struct {
 	Breakdown   stats.Breakdown `json:"breakdown"`
 	Injections  []float64       `json:"injections,omitempty"`
 	WallSeconds float64         `json:"wall_seconds,omitempty"`
+	// CPUSeconds is the process CPU consumed while this point ran (filled
+	// by the experiment pipeline; an upper bound under concurrent workers).
+	CPUSeconds float64 `json:"cpu_seconds,omitempty"`
 
 	// Err records a failed simulation (e.g. a watchdog-detected routing
 	// deadlock). Simulations are deterministic, so failures are

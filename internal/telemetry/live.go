@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Live is the opt-in HTTP/expvar introspection endpoint for long runs —
+// the seed of the roadmap's dfserved. It aggregates whatever its host
+// process feeds it (pipeline progress, per-task timings, probe samples)
+// and serves JSON snapshots:
+//
+//	/             endpoint index (text)
+//	/api/progress pool progress: done/total points, restored, elapsed
+//	/api/tasks    per-task point counts and wall/CPU time, slowest first
+//	/api/probes   the most recent probe sample (when probes feed it)
+//	/debug/vars   the standard expvar dump, including the above
+//
+// All methods are safe for concurrent use; feeding is cheap (a mutex and
+// a few scalars), so progress callbacks can call it unconditionally.
+type Live struct {
+	mu       sync.Mutex
+	start    time.Time
+	task     string // most recently active task
+	done     int
+	total    int
+	restored int
+	tasks    map[string]*TaskTiming
+	probe    []byte // latest probe sample JSONL line
+}
+
+// TaskTiming aggregates the completed points of one task.
+type TaskTiming struct {
+	Task        string  `json:"task"`
+	Points      int     `json:"points"`
+	Restored    int     `json:"restored"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+}
+
+// NewLive builds an endpoint; the clock for /api/progress starts now.
+func NewLive() *Live {
+	return &Live{start: time.Now(), tasks: make(map[string]*TaskTiming)}
+}
+
+// SetTotal sets the run's total point count.
+func (l *Live) SetTotal(total int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total = total
+}
+
+// NotePoint records one completed (or checkpoint-restored) point of a task
+// with its wall/CPU cost in seconds (zero for restored points).
+func (l *Live) NotePoint(task string, wall, cpu float64, restored bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.task = task
+	l.done++
+	t := l.tasks[task]
+	if t == nil {
+		t = &TaskTiming{Task: task}
+		l.tasks[task] = t
+	}
+	t.Points++
+	t.WallSeconds += wall
+	t.CPUSeconds += cpu
+	if restored {
+		l.restored++
+		t.Restored++
+	}
+}
+
+// setProbe stores the latest probe sample line (called by Probes).
+func (l *Live) setProbe(data []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.probe = append(l.probe[:0], data...)
+}
+
+// progressSnapshot is the /api/progress document.
+type progressSnapshot struct {
+	Task           string  `json:"task"`
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	Restored       int     `json:"restored"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+func (l *Live) progress() progressSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return progressSnapshot{
+		Task:           l.task,
+		Done:           l.done,
+		Total:          l.total,
+		Restored:       l.restored,
+		ElapsedSeconds: time.Since(l.start).Seconds(),
+	}
+}
+
+// Timings returns the per-task aggregates sorted by wall time, slowest
+// first (ties by name for a deterministic order).
+func (l *Live) Timings() []TaskTiming {
+	l.mu.Lock()
+	out := make([]TaskTiming, 0, len(l.tasks))
+	for _, t := range l.tasks {
+		out = append(out, *t)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WallSeconds != out[j].WallSeconds {
+			return out[i].WallSeconds > out[j].WallSeconds
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+// Handler returns the endpoint's HTTP handler.
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "dragonfly live endpoint\n\n/api/progress\n/api/tasks\n/api/probes\n/debug/vars\n")
+	})
+	mux.HandleFunc("/api/progress", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, l.progress())
+	})
+	mux.HandleFunc("/api/tasks", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, l.Timings())
+	})
+	mux.HandleFunc("/api/probes", func(w http.ResponseWriter, _ *http.Request) {
+		l.mu.Lock()
+		data := append([]byte(nil), l.probe...)
+		l.mu.Unlock()
+		if len(data) == 0 {
+			http.Error(w, `{"error":"no probe sample yet"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data) //nolint:errcheck
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// expvarOnce guards the process-wide expvar name (Publish panics on
+// duplicates; tests may build several Lives).
+var expvarOnce sync.Once
+
+// Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves the endpoint
+// in a background goroutine for the life of the process. It returns the
+// bound address, so ":0" callers can print the actual port. The progress
+// snapshot is also published as the expvar "dragonfly.live".
+func (l *Live) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("dragonfly.live", expvar.Func(func() any { return l.progress() }))
+	})
+	srv := &http.Server{Handler: l.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // runs until process exit
+	return ln.Addr(), nil
+}
