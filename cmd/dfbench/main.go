@@ -4,7 +4,8 @@
 // configurations (BenchmarkEngineSequential / BenchmarkEngineParallel
 // operating points plus a saturation regression guard), verifies the two
 // produce bit-identical results, measures network-construction memory for
-// ring vs event links at h=4 and h=6, and writes the measurements to
+// ring vs event links at h=4 and h=6, prices snapshot restore against cold
+// construction at h=3 and h=6, and writes the measurements to
 // BENCH_engine.json so successive PRs accumulate a performance trajectory.
 //
 // Usage:
@@ -69,6 +70,30 @@ type construction struct {
 	Ratio      float64 `json:"ring_to_event_ratio"`
 }
 
+// snapshotPoint prices warm-state reuse: cold NewNetwork construction vs
+// restoring a construction snapshot of the same configuration. RestoreNs
+// is the sweep steady state — RestoreNetworkInto overwriting the previous
+// point's retired network in place — and FirstRestoreNs the allocating
+// first restore of a fresh worker. The steady-state speedup is gated
+// in-process against MinSpeedup (restore must beat a cold build
+// comfortably, or snapshot reuse is pointless), and the allocation
+// footprints are gated against the baseline like construction bytes. The
+// restored networks — fresh and recycled alike — must run bit-identically
+// to the cold one: a fast restore that computes something else is a bug,
+// not a win.
+type snapshotPoint struct {
+	Name           string  `json:"name"`
+	H              int     `json:"balanced_h"`
+	BuildNs        int64   `json:"build_ns"`
+	RestoreNs      int64   `json:"restore_ns"`
+	FirstRestoreNs int64   `json:"first_restore_ns"`
+	Speedup        float64 `json:"build_to_restore_ratio"`
+	MinSpeedup     float64 `json:"min_speedup"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	RestoreBytes   int64   `json:"restore_bytes"`
+	Identical      bool    `json:"bit_identical"`
+}
+
 // probeOverhead is the probes-on vs probes-off timing of one scenario:
 // the same scheduler-engine run with and without a telemetry recorder
 // sampling at the given cadence, interleaved best-of so machine noise
@@ -93,6 +118,7 @@ type output struct {
 	Reps         int             `json:"reps_best_of"`
 	Scenarios    []scenario      `json:"scenarios"`
 	Construction []construction  `json:"construction,omitempty"`
+	Snapshots    []snapshotPoint `json:"snapshot,omitempty"`
 	Probes       []probeOverhead `json:"probe_overhead,omitempty"`
 }
 
@@ -171,6 +197,106 @@ func measureConstruction(name string, h int) (construction, error) {
 			name, c.EventBytes, c.RingBytes)
 	}
 	return c, nil
+}
+
+// measureSnapshot prices cold construction against snapshot restore on
+// the engine benchmark configuration. Build and restore are timed best-of
+// in the same process, so the ratio tolerates slow runners the way the
+// engine speedups do; the allocation footprints are near-deterministic
+// and go to the baseline gate. The headline restore time is the sweep
+// steady state: each timed restore overwrites the network the previous
+// iteration ran and retired (sim.RestoreNetworkInto), exactly the
+// restore-run-recycle rhythm of the sweep layer — including the cost of
+// clearing the dirty state out. The verification runs prove both the
+// fresh-restored and the recycled network are the cold network, bit for
+// bit.
+func measureSnapshot(name string, h int, reps int, minSpeedup float64) (snapshotPoint, error) {
+	sp := snapshotPoint{Name: name, H: h, MinSpeedup: minSpeedup}
+	cfg := engineCfg(h, 0.1, 1, 100)
+
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		start := time.Now()
+		net, err := sim.NewNetwork(&cfg, nil)
+		if err != nil {
+			return sp, err
+		}
+		build := time.Since(start).Nanoseconds()
+		runtime.KeepAlive(net)
+		if sp.BuildNs == 0 || build < sp.BuildNs {
+			sp.BuildNs = build
+		}
+	}
+
+	// One more cold build supplies the snapshot and the identity baseline.
+	// Snapshot() leaves the source network untouched at cycle zero, so the
+	// same instance runs the cold side of the comparison.
+	cold, err := sim.NewNetwork(&cfg, nil)
+	if err != nil {
+		return sp, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	snap, err := cold.Snapshot()
+	if err != nil {
+		return sp, err
+	}
+	runtime.ReadMemStats(&m1)
+	sp.SnapshotBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	if err := sim.RunNetwork(cold, &cfg); err != nil {
+		return sp, err
+	}
+	coldRes := sim.NewResultFrom(cold, &cfg, 0)
+
+	// The allocating first restore of a worker: timed once, its footprint
+	// gated against the baseline, and its run checked against the cold one.
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	net, err := sim.RestoreNetwork(snap, &cfg)
+	if err != nil {
+		return sp, err
+	}
+	sp.FirstRestoreNs = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&m1)
+	sp.RestoreBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	if err := sim.RunNetwork(net, &cfg); err != nil {
+		return sp, err
+	}
+	sp.Identical = identical(coldRes, sim.NewResultFrom(net, &cfg, 0))
+
+	// Steady state: restore over the network the previous iteration
+	// dirtied, run it, retire it to the next iteration.
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		start := time.Now()
+		next, err := sim.RestoreNetworkInto(snap, &cfg, net)
+		if err != nil {
+			return sp, err
+		}
+		restore := time.Since(start).Nanoseconds()
+		if next != net {
+			return sp, fmt.Errorf("%s: retired network was not recycled in place", name)
+		}
+		if sp.RestoreNs == 0 || restore < sp.RestoreNs {
+			sp.RestoreNs = restore
+		}
+		if err := sim.RunNetwork(next, &cfg); err != nil {
+			return sp, err
+		}
+		net = next
+	}
+	sp.Identical = sp.Identical && identical(coldRes, sim.NewResultFrom(net, &cfg, 0))
+	sp.Speedup = float64(sp.BuildNs) / float64(sp.RestoreNs)
+	if !sp.Identical {
+		return sp, fmt.Errorf("%s: restored network diverged from cold build", name)
+	}
+	if sp.Speedup < minSpeedup {
+		return sp, fmt.Errorf("%s: restore only %.1fx faster than cold build (floor %.0fx)",
+			name, sp.Speedup, minSpeedup)
+	}
+	return sp, nil
 }
 
 // measureProbeOverhead times the scheduler engine with probes off and on,
@@ -322,6 +448,22 @@ func main() {
 			point.Name, float64(point.RingBytes)/1e6, float64(point.EventBytes)/1e6, point.Ratio)
 	}
 
+	for _, s := range []struct {
+		name string
+		h    int
+		min  float64
+	}{{"snapshot/h3", 3, 2}, {"snapshot/h6", 6, 5}} {
+		point, err := measureSnapshot(s.name, s.h, *reps, s.min)
+		if err != nil {
+			fatal(err)
+		}
+		result.Snapshots = append(result.Snapshots, point)
+		fmt.Printf("%-30s build %7.2fms  restore %6.2fms (first %6.2fms)  speedup %.1fx  snap %6.2fMB  identical %v\n",
+			point.Name, float64(point.BuildNs)/1e6, float64(point.RestoreNs)/1e6,
+			float64(point.FirstRestoreNs)/1e6,
+			point.Speedup, float64(point.SnapshotBytes)/1e6, point.Identical)
+	}
+
 	if *maxProbe > 0 {
 		po, err := measureProbeOverhead(*reps, 256)
 		if err != nil {
@@ -428,6 +570,29 @@ func compareBaseline(path string, fresh output, maxRegress float64) error {
 		if ratio > 1+maxRegress {
 			return fmt.Errorf("%s: event-link build bytes grew >%.0f%% vs %s (%d vs %d B)",
 				c.Name, maxRegress*100, path, c.EventBytes, b.EventBytes)
+		}
+	}
+
+	// Snapshot gate: the restore allocation footprint is near-deterministic
+	// and may not creep up; the speedup floor itself is enforced in-process
+	// by measureSnapshot, so the baseline comparison of the timing ratio is
+	// informational.
+	baseSnap := make(map[string]snapshotPoint, len(base.Snapshots))
+	for _, s := range base.Snapshots {
+		baseSnap[s.Name] = s
+	}
+	for _, s := range fresh.Snapshots {
+		b, ok := baseSnap[s.Name]
+		if !ok || b.RestoreBytes == 0 {
+			fmt.Printf("baseline: %-30s no snapshot baseline in %s, skipped\n", s.Name, path)
+			continue
+		}
+		ratio := float64(s.RestoreBytes) / float64(b.RestoreBytes)
+		fmt.Printf("baseline: %-30s restore %.2fMB vs %.2fMB (ratio %.2f), speedup %.1fx vs %.1fx\n",
+			s.Name, float64(s.RestoreBytes)/1e6, float64(b.RestoreBytes)/1e6, ratio, s.Speedup, b.Speedup)
+		if ratio > 1+maxRegress {
+			return fmt.Errorf("%s: snapshot restore bytes grew >%.0f%% vs %s (%d vs %d B)",
+				s.Name, maxRegress*100, path, s.RestoreBytes, b.RestoreBytes)
 		}
 	}
 	return nil

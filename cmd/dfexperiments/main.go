@@ -66,6 +66,9 @@ func main() {
 		"comma-separated latency models to sweep as an extra axis ("+strings.Join(topology.KnownLatencyModels(), ", ")+
 			"); overrides -latency-model, non-uniform tasks are suffixed @<model> and compose with -checkpoint resume")
 	jobs := fs.Int("jobs", 0, "concurrent simulations (0 = NumCPU)")
+	reuse := fs.String("reuse", "construct",
+		"network-state reuse across runs: off (cold build per run), construct (share wiring; bit-identical), warm (share warm-up too; approximate off the first load, changes the checkpoint fingerprint)")
+	rewarm := fs.Int64("rewarm", -1, "re-warm cycles for warm reuse at non-template loads (-1: warmup/4)")
 	ckPath := fs.String("checkpoint", "",
 		"checkpoint file for interrupt/resume (default <out>/checkpoint.jsonl when -out is set; \"off\" disables)")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
@@ -87,6 +90,10 @@ func main() {
 	}()
 
 	base, err := build()
+	if err != nil {
+		fatal(err)
+	}
+	reuseMode, err := sweep.ParseReuse(*reuse)
 	if err != nil {
 		fatal(err)
 	}
@@ -122,6 +129,8 @@ func main() {
 		Mechanisms:    mechList,
 		Workers:       *jobs,
 		LatencyModels: models,
+		Reuse:         reuseMode,
+		ReWarm:        *rewarm,
 	})
 
 	var ck *sweep.Checkpoint

@@ -31,8 +31,15 @@ func main() {
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	jobs := fs.Int("jobs", 0, "concurrent simulations (0 = NumCPU)")
+	reuse := fs.String("reuse", "construct",
+		"network-state reuse across sweep points: off (cold build per point), construct (share wiring; bit-identical), warm (share warm-up too; approximate off the first load)")
+	rewarm := fs.Int64("rewarm", -1, "re-warm cycles for warm reuse at non-template loads (-1: warmup/4)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	reuseMode, err := sweep.ParseReuse(*reuse)
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg, err := build()
@@ -53,6 +60,9 @@ func main() {
 		Loads:      loadList,
 		Seeds:      cli.ParseSeeds(cfg.Seed, *seeds),
 		Workers:    *jobs,
+	}
+	if reuseMode != sweep.ReuseOff {
+		grid.Snapshots = &sweep.SnapshotCache{Mode: reuseMode, ReWarm: *rewarm}
 	}
 	progress := func(done, total int) {
 		if !*quiet {

@@ -114,6 +114,16 @@ type Options struct {
 	// task names are the checkpoint namespace, so an axis-less checkpoint
 	// composes with a later widened run (only the new models simulate).
 	LatencyModels []topology.LatencyModel
+	// Reuse shares prepared network state between the pipeline's points
+	// through one snapshot cache spanning every task (see sweep.ReuseMode).
+	// ReuseConstruct leaves all results bit-identical to cold runs;
+	// ReuseWarm is an approximation off the template load and therefore
+	// changes the checkpoint fingerprint.
+	Reuse sweep.ReuseMode
+	// ReWarm is the warm-up tail of cross-load warm restores, in cycles
+	// (negative: a quarter of the configured warm-up). Only meaningful with
+	// ReuseWarm.
+	ReWarm int64
 }
 
 // Pipeline is the built task graph.
@@ -121,6 +131,8 @@ type Pipeline struct {
 	Tasks   []*Task
 	base    sim.Config
 	workers int // pipeline-wide concurrent-simulation bound (0: pool width)
+	reuse   sweep.ReuseMode
+	rewarm  int64
 }
 
 // Build assembles the figure/table tasks for a base configuration. The
@@ -138,7 +150,7 @@ func Build(base sim.Config, opt Options) *Pipeline {
 		}
 	}
 
-	p := &Pipeline{base: base, workers: opt.Workers}
+	p := &Pipeline{base: base, workers: opt.Workers, reuse: opt.Reuse, rewarm: opt.ReWarm}
 	models := opt.LatencyModels
 	if len(models) == 0 {
 		models = []topology.LatencyModel{nil} // nil: keep base.LatencyModel
@@ -159,6 +171,18 @@ func Build(base sim.Config, opt Options) *Pipeline {
 	// pool keeps pulling from later ones whenever a worker would idle.
 	for i, t := range p.Tasks {
 		t.Priority = len(p.Tasks) - i
+	}
+
+	// One snapshot cache spans every task: the cache keys on everything
+	// that shapes the wired network (arbitration included, via the router
+	// config), so figures sharing a mechanism/pattern/seed combination
+	// share one template while fig2 (transit-priority) and fig5
+	// (round-robin) keep theirs apart.
+	if opt.Reuse != sweep.ReuseOff {
+		cache := &sweep.SnapshotCache{Mode: opt.Reuse, ReWarm: opt.ReWarm}
+		for _, t := range p.Tasks {
+			t.Grid.Snapshots = cache
+		}
 	}
 	return p
 }
@@ -308,8 +332,20 @@ func (p *Pipeline) Fingerprint() string {
 	if b.LatencyModel != nil {
 		lat = b.LatencyModel.Name()
 	}
-	return fmt.Sprintf("topo=%+v router=%+v routing=%+v warm=%d meas=%d lat=%s",
+	fp := fmt.Sprintf("topo=%+v router=%+v routing=%+v warm=%d meas=%d lat=%s",
 		b.Topology, b.Router, b.Routing, b.WarmupCycles, b.MeasureCycles, lat)
+	// Construction reuse (and off) produce bit-identical results, so both
+	// share the bare fingerprint and their checkpoints compose. Warm reuse
+	// approximates off-template loads; its records must not mix with exact
+	// ones, so the mode and re-warm tail join the fingerprint.
+	if p.reuse == sweep.ReuseWarm {
+		rewarm := p.rewarm
+		if rewarm < 0 {
+			rewarm = b.WarmupCycles / 4
+		}
+		fp += fmt.Sprintf(" reuse=warm rewarm=%d", rewarm)
+	}
+	return fp
 }
 
 // Progress is one live-progress observation.

@@ -116,6 +116,19 @@ func (p *Packet) Reset() {
 // It is only meaningful after delivery.
 func (p *Packet) TotalLatency() int64 { return p.DeliverTime - p.GenTime }
 
+// Rebase shifts every absolute-cycle field delta cycles into the past, so a
+// packet captured at cycle W of one run is valid at cycle 0 of a restored
+// run. Differences between fields — the latency components — are preserved
+// exactly; fields not yet assigned (InjectTime/DeliverTime before those
+// events) go negative and are overwritten at the event as usual.
+func (p *Packet) Rebase(delta int64) {
+	p.GenTime -= delta
+	p.InjectTime -= delta
+	p.DeliverTime -= delta
+	p.ReadyAt -= delta
+	p.EnqueuedAt -= delta
+}
+
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt#%d %d->%d %v l%d g%d", p.ID, p.Src, p.Dst, p.Phase, p.LocalHops, p.GlobalHops)
 }

@@ -242,7 +242,22 @@ func runSequential(net *Network, warmup, total int64, ctrl Controller) error {
 			return err
 		}
 	}
+	net.ranCycles += total
 	return nil
+}
+
+// WarmupNetwork drives the network through exactly `cycles` warm-up cycles
+// without ever enabling measurement: the engines enable measuring at
+// now == warmup, which a warmup == total run never reaches. Used to
+// prepare warm-state snapshots (see Network.Snapshot).
+func WarmupNetwork(net *Network, cfg *Config, cycles int64) error {
+	if cycles <= 0 {
+		return nil
+	}
+	if workers := clampWorkers(net, cfg); workers > 1 {
+		return runParallel(net, cycles, cycles, workers, nil)
+	}
+	return runSequential(net, cycles, cycles, nil)
 }
 
 // watchdog detects a fully stalled network: packets in flight but no router
@@ -462,6 +477,7 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 		}
 	}
 	net.engineSteps = sched.steps
+	net.ranCycles += total
 	return nil
 }
 
@@ -497,6 +513,7 @@ func runSequentialRef(net *Network, warmup, total int64, ctrl Controller) error 
 		}
 	}
 	net.engineSteps = int64(len(net.Routers)) * total
+	net.ranCycles += total
 	return nil
 }
 
@@ -574,5 +591,6 @@ func runParallelRef(net *Network, warmup, total int64, workers int, ctrl Control
 		}
 	}
 	net.engineSteps = int64(len(net.Routers)) * total
+	net.ranCycles += total
 	return nil
 }

@@ -74,6 +74,19 @@ type Network struct {
 	// many quiescent router-cycles were skipped.
 	engineSteps int64
 
+	// nodeRnd0 holds every node RNG's stream position from just before its
+	// first inter-arrival draw in NewNetwork — the only build-time draw
+	// that depends on the offered load. Construction snapshots rewind node
+	// streams to these positions so a restore can retarget the load and
+	// redraw, reproducing a cold build at the new load bit-for-bit.
+	// Immutable after construction and shared by snapshots and clones.
+	nodeRnd0 []rng.Source
+
+	// ranCycles counts the cycles the engines have driven this network
+	// through since construction (or restore). Snapshot uses it as the
+	// rebase delta that shifts captured state back to cycle 0.
+	ranCycles int64
+
 	// core is the structure-of-arrays router state the scheduler engines
 	// step (see router.Core). It is run-scoped: built from the wired
 	// routers when a scheduler engine starts — so it captures any
@@ -89,6 +102,12 @@ type Network struct {
 	// telemetry is the probe summary of the most recent engine run (nil
 	// without probes); newResult attaches it to the Result.
 	telemetry *telemetry.Summary
+
+	// snapOwner is the snapshot this network was restored from (nil for
+	// built networks). RestoreNetworkInto overwrites a retired network in
+	// place only when it came from the same snapshot — the provenance
+	// guarantee that every slice already has exactly the needed shape.
+	snapOwner *Snapshot
 }
 
 // NewNetwork builds and wires a network from the configuration. The traffic
@@ -209,10 +228,12 @@ func NewNetwork(cfg *Config, pat traffic.Pattern) (*Network, error) {
 	member, _ := pat.(traffic.Memberer)
 	loads, _ := pat.(traffic.NodeLoads)
 	net.nodes = make([]nodeState, topo.NumNodes())
+	net.nodeRnd0 = make([]rng.Source, topo.NumNodes())
 	nodeRng := root.Split()
 	for n := range net.nodes {
 		ns := &net.nodes[n]
 		ns.rnd = nodeRng.Split()
+		net.nodeRnd0[n] = *ns.rnd // pre-draw position, for load retargeting
 		ns.q = net.genProb
 		if loads != nil {
 			if l := loads.NodeLoad(n); l > 0 {

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"dragonfly/internal/topology"
+)
+
+// Benchmarks of the snapshot economics at the paper's h=6 scale (73
+// groups, 876 routers): cold construction vs a fresh restore vs the sweep
+// steady state of restoring over a recycled network. cmd/dfbench gates the
+// build-to-restore ratio; these isolate the three costs for profiling.
+
+func benchCfgH6() Config {
+	cfg := DefaultConfig()
+	cfg.Topology = topology.Balanced(6)
+	cfg.Mechanism = "In-Trns-MM"
+	cfg.Pattern = "UN"
+	cfg.Load = 0.1
+	return cfg
+}
+
+func BenchmarkBuildH6(b *testing.B) {
+	cfg := benchCfgH6()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewNetwork(&cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestoreH6(b *testing.B) {
+	cfg := benchCfgH6()
+	snap, err := NewSnapshot(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RestoreNetwork(snap, &cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestoreIntoH6(b *testing.B) {
+	cfg := benchCfgH6()
+	snap, err := NewSnapshot(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := RestoreNetwork(snap, &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net, err = RestoreNetworkInto(snap, &cfg, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"dragonfly/internal/telemetry"
+	"dragonfly/internal/topology"
+)
+
+// Randomized snapshot/restore equivalence. A run restored from a
+// construction snapshot must be bit-identical to a cold NewNetwork run of
+// the same configuration — full microarchitectural state (see
+// Router.StateVector) and per-router statistics, after every prefix of the
+// run, across the scheduler and reference engines and several worker
+// counts, with the snapshot deliberately captured at a different load than
+// the restore target (construction snapshots are load-agnostic).
+
+// snapTrial is one randomized snapshot scenario.
+type snapTrial struct {
+	cfg      Config
+	snapLoad float64 // capture load, usually != cfg.Load
+	probes   bool
+}
+
+func randomSnapTrial(rnd *rand.Rand, seed uint64) snapTrial {
+	mechs := []string{"MIN", "Obl-CRG", "Src-CRG", "In-Trns-MM"}
+	pats := []string{"UN", "ADV+1", "ADVc"}
+	loads := []float64{0.2, 0.5, 0.85}
+	cfg := DefaultConfig()
+	cfg.Topology = topology.Balanced(2)
+	cfg.Mechanism = mechs[rnd.Intn(len(mechs))]
+	cfg.Pattern = pats[rnd.Intn(len(pats))]
+	cfg.Load = loads[rnd.Intn(len(loads))]
+	cfg.WarmupCycles = 5
+	cfg.MeasureCycles = int64(35 + rnd.Intn(41))
+	cfg.Seed = seed
+	cfg.RingLinks = rnd.Intn(2) == 0
+	if rnd.Intn(2) == 0 {
+		cfg.LatencyModel = topology.GroupSkewLatency{Local: 3, GlobalBase: 11, GlobalStep: 2}
+	}
+	return snapTrial{
+		cfg:      cfg,
+		snapLoad: loads[rnd.Intn(len(loads))],
+		probes:   rnd.Intn(2) == 0,
+	}
+}
+
+// prefixConfig is the trial configuration truncated to a k-cycle run, with
+// a fresh probe instance when the trial samples probes (probes are
+// read-only; results must be bit-identical with them on).
+func (tr snapTrial) prefixConfig(k int64) Config {
+	cfg := tr.cfg
+	cfg.MeasureCycles = k - cfg.WarmupCycles
+	if tr.probes {
+		cfg.Probes = telemetry.NewProbes(telemetry.ProbeConfig{Every: 16})
+	}
+	return cfg
+}
+
+// captureState runs the network and returns per-router state vectors plus
+// per-router stats.
+func captureState(t *testing.T, net *Network, cfg *Config,
+	run func(*Network, *Config) error) [][]int64 {
+	t.Helper()
+	if err := run(net, cfg); err != nil {
+		t.Fatal(err)
+	}
+	state := make([][]int64, len(net.Routers))
+	for i, r := range net.Routers {
+		state[i] = r.StateVector(nil)
+	}
+	return state
+}
+
+func diffState(t *testing.T, label string, got, want [][]int64) {
+	t.Helper()
+	for r := range want {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("%s: router %d state length %d, want %d", label, r, len(got[r]), len(want[r]))
+		}
+		for j := range want[r] {
+			if got[r][j] != want[r][j] {
+				t.Fatalf("%s: router %d state word %d = %d, want %d", label, r, j, got[r][j], want[r][j])
+			}
+		}
+	}
+}
+
+func TestConstructionSnapshotBitIdentical(t *testing.T) {
+	trials, stride := 3, 1
+	if testing.Short() {
+		trials, stride = 2, 7
+	}
+	rnd := rand.New(rand.NewSource(20260807))
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+
+	for trial := 0; trial < trials; trial++ {
+		tr := randomSnapTrial(rnd, uint64(7+trial))
+		t.Logf("trial %d: %s/%s load %.2f (snap at %.2f) ring=%v lat=%q probes=%v, %d cycles",
+			trial, tr.cfg.Mechanism, tr.cfg.Pattern, tr.cfg.Load, tr.snapLoad,
+			tr.cfg.RingLinks, latName(&tr.cfg), tr.probes,
+			tr.cfg.WarmupCycles+tr.cfg.MeasureCycles)
+
+		snapCfg := tr.cfg
+		snapCfg.Load = tr.snapLoad
+		snap, err := NewSnapshot(snapCfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		total := tr.cfg.WarmupCycles + tr.cfg.MeasureCycles
+		for k := tr.cfg.WarmupCycles + 1; k <= total; k += int64(stride) {
+			// Cold baseline: dense reference engine on a fresh build.
+			coldCfg := tr.prefixConfig(k)
+			coldNet, err := NewNetwork(&coldCfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldState := captureState(t, coldNet, &coldCfg, RunNetworkReference)
+			coldRes := newResult(coldNet, &coldCfg, 0)
+
+			// Restored runs: reference engine plus the scheduler engine at
+			// several worker counts, all from the same snapshot.
+			type variant struct {
+				name    string
+				workers int
+				run     func(*Network, *Config) error
+			}
+			variants := []variant{{"ref", 1, RunNetworkReference}}
+			for _, w := range workerCounts {
+				variants = append(variants, variant{"sched", w, RunNetwork})
+			}
+			for _, v := range variants {
+				cfg := tr.prefixConfig(k)
+				cfg.Workers = v.workers
+				net, err := RestoreNetwork(snap, &cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				state := captureState(t, net, &cfg, v.run)
+				diffState(t, v.name, state, coldState)
+				res := newResult(net, &cfg, 0)
+				for r := range coldRes.PerRouter {
+					if res.PerRouter[r] != coldRes.PerRouter[r] {
+						t.Fatalf("trial %d cycle %d %s/w%d: router %d stats diverge",
+							trial, k, v.name, v.workers, r)
+					}
+				}
+				if got, want := net.InFlight(), coldNet.InFlight(); got != want {
+					t.Fatalf("trial %d cycle %d %s/w%d: in-flight %d, want %d",
+						trial, k, v.name, v.workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreIntoRecycled proves the in-place restore path: overwriting a
+// retired network (RestoreNetworkInto) must produce runs bit-identical to
+// cold builds — across generations at different loads, where any state
+// leaking from the recycled network's previous run (queue contents, link
+// ring events, grant flags, calendars, counters) would surface as a state
+// or statistics divergence.
+func TestRestoreIntoRecycled(t *testing.T) {
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	rnd := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < trials; trial++ {
+		tr := randomSnapTrial(rnd, uint64(31+trial))
+		tr.cfg.RingLinks = trial%2 == 1 // both link kinds: ring links recycle via the fallback
+		t.Logf("trial %d: %s/%s load %.2f (snap at %.2f) ring=%v lat=%q probes=%v",
+			trial, tr.cfg.Mechanism, tr.cfg.Pattern, tr.cfg.Load, tr.snapLoad,
+			tr.cfg.RingLinks, latName(&tr.cfg), tr.probes)
+		snapCfg := tr.cfg
+		snapCfg.Load = tr.snapLoad
+		snap, err := NewSnapshot(snapCfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		total := tr.cfg.WarmupCycles + tr.cfg.MeasureCycles
+		loads := []float64{tr.cfg.Load, 0.85, 0.2, tr.snapLoad}
+		var recycled *Network
+		for gen, load := range loads {
+			cfg := tr.prefixConfig(total)
+			cfg.Load = load
+			coldCfg := cfg
+			coldNet, err := NewNetwork(&coldCfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldState := captureState(t, coldNet, &coldCfg, RunNetwork)
+			coldRes := newResult(coldNet, &coldCfg, 0)
+
+			old := recycled
+			net, err := RestoreNetworkInto(snap, &cfg, old)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen > 0 && net != old {
+				t.Fatalf("trial %d gen %d: retired network was not recycled in place", trial, gen)
+			}
+			label := fmt.Sprintf("trial %d gen %d load %.2f", trial, gen, load)
+			state := captureState(t, net, &cfg, RunNetwork)
+			diffState(t, label, state, coldState)
+			res := newResult(net, &cfg, 0)
+			for r := range coldRes.PerRouter {
+				if res.PerRouter[r] != coldRes.PerRouter[r] {
+					t.Fatalf("%s: router %d stats diverge from cold run", label, r)
+				}
+			}
+			recycled = net
+		}
+
+		// A network retired from a different snapshot must not be
+		// overwritten — provenance falls back to a fresh restore.
+		other, err := NewSnapshot(snapCfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tr.prefixConfig(total)
+		net, err := RestoreNetworkInto(other, &cfg, recycled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net == recycled {
+			t.Fatalf("trial %d: network owned by another snapshot was recycled", trial)
+		}
+	}
+}
+
+// TestWarmSnapshotSameLoadExact proves the strong half of the warm-reuse
+// contract: a run restored from a warm snapshot at the capture load, with a
+// zero warm-up, produces exactly the statistics of a cold run that warmed
+// up from scratch — every per-router counter equal, LastActivity shifted by
+// exactly the warm-up length (restored runs start at cycle 0).
+func TestWarmSnapshotSameLoadExact(t *testing.T) {
+	const W, M = 600, 900
+	cfg := DefaultConfig()
+	cfg.Topology = topology.Balanced(2)
+	cfg.Mechanism = "Src-CRG"
+	cfg.Pattern = "ADVc"
+	cfg.Load = 0.6
+	cfg.WarmupCycles = W
+	cfg.MeasureCycles = M
+	cfg.Seed = 12
+
+	coldCfg := cfg
+	coldNet, err := NewNetwork(&coldCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunNetwork(coldNet, &coldCfg); err != nil {
+		t.Fatal(err)
+	}
+	coldRes := newResult(coldNet, &coldCfg, 0)
+
+	snap, err := NewSnapshot(cfg, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Warm() != W {
+		t.Fatalf("snapshot warm = %d, want %d", snap.Warm(), W)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		warmCfg := cfg
+		warmCfg.WarmupCycles = 0
+		warmCfg.Workers = workers
+		net, err := RestoreNetwork(snap, &warmCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunNetwork(net, &warmCfg); err != nil {
+			t.Fatal(err)
+		}
+		res := newResult(net, &warmCfg, 0)
+		for r := range coldRes.PerRouter {
+			want := coldRes.PerRouter[r]
+			got := res.PerRouter[r]
+			want.LastActivity -= W
+			if got != want {
+				t.Fatalf("workers %d: router %d stats diverge from cold run\n got %+v\nwant %+v",
+					workers, r, got, want)
+			}
+		}
+	}
+}
+
+// TestWarmSnapshotCrossLoadReWarm exercises the weak half of the contract:
+// restoring a warm snapshot at a different load is an approximation whose
+// re-warm tail must bring the steady-state metrics back to the cold run's.
+func TestWarmSnapshotCrossLoadReWarm(t *testing.T) {
+	const W, M = 1500, 3000
+	cfg := DefaultConfig()
+	cfg.Topology = topology.Balanced(2)
+	cfg.Mechanism = "MIN"
+	cfg.Pattern = "UN"
+	cfg.Load = 0.3
+	cfg.WarmupCycles = W
+	cfg.MeasureCycles = M
+	cfg.Seed = 5
+
+	snap, err := NewSnapshot(cfg, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := cfg
+	target.Load = 0.55
+	coldRes, err := Run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reCfg := target
+	reCfg.WarmupCycles = W / 4 // the re-warm tail
+	net, err := RestoreNetwork(snap, &reCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunNetwork(net, &reCfg); err != nil {
+		t.Fatal(err)
+	}
+	res := newResult(net, &reCfg, 0)
+
+	if c, w := coldRes.Throughput(), res.Throughput(); w < 0.95*c || w > 1.05*c {
+		t.Fatalf("cross-load throughput %.4f outside 5%% of cold %.4f", w, c)
+	}
+	if c, w := coldRes.AvgLatency(), res.AvgLatency(); w < 0.8*c || w > 1.2*c {
+		t.Fatalf("cross-load avg latency %.2f outside 20%% of cold %.2f", w, c)
+	}
+
+	// Incompatible restores must be refused.
+	bad := target
+	bad.Mechanism = "In-Trns-MM"
+	if _, err := RestoreNetwork(snap, &bad); err == nil {
+		t.Fatal("restore with a different mechanism was not refused")
+	}
+	bad = target
+	bad.Seed = 99
+	if _, err := RestoreNetwork(snap, &bad); err == nil {
+		t.Fatal("restore with a different seed was not refused")
+	}
+}
+
+// TestSnapshotConcurrentRestores restores and runs from one snapshot on
+// several goroutines at once. Restored networks must be fully independent:
+// identical results, and no data races (the CI race job runs this with
+// -race, which probes every piece of accidentally shared mutable state).
+func TestSnapshotConcurrentRestores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = topology.Balanced(2)
+	cfg.Mechanism = "Src-CRG"
+	cfg.Pattern = "ADVc"
+	cfg.Load = 0.5
+	cfg.WarmupCycles = 50
+	cfg.MeasureCycles = 300
+	cfg.Seed = 3
+
+	snap, err := NewSnapshot(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			net, err := RestoreNetwork(snap, &c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := RunNetwork(net, &c); err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = newResult(net, &c, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] == nil || results[0] == nil {
+			t.Fatal("missing result")
+		}
+		for r := range results[0].PerRouter {
+			if results[i].PerRouter[r] != results[0].PerRouter[r] {
+				t.Fatalf("concurrent restore %d: router %d stats diverge", i, r)
+			}
+		}
+	}
+}

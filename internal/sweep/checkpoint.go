@@ -43,6 +43,9 @@ type Record struct {
 	// CPUSeconds is the process CPU consumed while this point ran (filled
 	// by the experiment pipeline; an upper bound under concurrent workers).
 	CPUSeconds float64 `json:"cpu_seconds,omitempty"`
+	// Reuse records how the point ran when snapshot reuse was on:
+	// "construct", "warm" or "rewarm" (empty: cold run).
+	Reuse string `json:"reuse,omitempty"`
 
 	// Err records a failed simulation (e.g. a watchdog-detected routing
 	// deadlock). Simulations are deterministic, so failures are
@@ -56,7 +59,7 @@ type Record struct {
 // becomes an error record, so salvaging partial sweep output through
 // Aggregate reports the gap instead of panicking on the missing result.
 func RecordOf(task string, s Sample) Record {
-	rec := Record{Task: task, Point: s.Point}
+	rec := Record{Task: task, Point: s.Point, Reuse: s.Reuse}
 	if s.Err != nil {
 		rec.Err = s.Err.Error()
 		return rec

@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dragonfly/internal/sim"
+)
+
+// ReuseMode selects how the points of a sweep share prepared network state
+// through snapshots (see sim.Snapshot) instead of each re-building — and
+// possibly re-warming — the same topology from scratch.
+type ReuseMode int
+
+const (
+	// ReuseOff runs every point cold: NewNetwork + full warm-up, the
+	// historical behaviour.
+	ReuseOff ReuseMode = iota
+	// ReuseConstruct builds one construction snapshot per distinct
+	// (mechanism, pattern, seed, topology, …) combination and restores it
+	// for every load. Restored runs are bit-identical to cold runs — the
+	// sweep output cannot change, only the wiring cost is saved.
+	ReuseConstruct
+	// ReuseWarm additionally bakes the warm-up into the snapshot, captured
+	// at the sweep's first load. Points at that load skip warm-up exactly
+	// (bit-identical to cold); points at other loads re-aim the sources and
+	// re-run a short re-warm tail — an approximation, so warm sweeps are
+	// fingerprinted separately from cold ones.
+	ReuseWarm
+)
+
+// String returns the flag spelling of the mode.
+func (m ReuseMode) String() string {
+	switch m {
+	case ReuseConstruct:
+		return "construct"
+	case ReuseWarm:
+		return "warm"
+	default:
+		return "off"
+	}
+}
+
+// ParseReuse parses a -reuse flag value.
+func ParseReuse(s string) (ReuseMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off", "none":
+		return ReuseOff, nil
+	case "construct", "construction", "cold":
+		return ReuseConstruct, nil
+	case "warm":
+		return ReuseWarm, nil
+	default:
+		return ReuseOff, fmt.Errorf("sweep: unknown reuse mode %q (off, construct, warm)", s)
+	}
+}
+
+// SnapshotCache shares snapshots between the points of one or more sweeps.
+// Template construction is single-flight per key: under pool concurrency
+// the first point of a combination builds the snapshot while its siblings
+// block on it, then every point restores its own independent network. The
+// cache is safe for concurrent use and unbounded — a sweep has a small,
+// finite set of (mechanism, pattern, seed) combinations.
+type SnapshotCache struct {
+	// Mode selects the reuse policy; a nil cache or ReuseOff runs cold.
+	Mode ReuseMode
+	// ReWarm is the warm-up tail, in cycles, of a ReuseWarm restore at a
+	// load other than the template's. Negative means the default of a
+	// quarter of the configured warm-up.
+	ReWarm int64
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	snap *sim.Snapshot
+	err  error
+
+	// free holds networks restored from snap whose runs have finished;
+	// the next restore of this entry overwrites one in place (see
+	// sim.RestoreNetworkInto) instead of allocating a fresh clone. At
+	// most one network per concurrent worker ever accumulates.
+	mu   sync.Mutex
+	free []*sim.Network
+}
+
+// takeFree pops a retired network, or nil.
+func (e *cacheEntry) takeFree() *sim.Network {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.free); n > 0 {
+		net := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return net
+	}
+	return nil
+}
+
+// putFree parks a retired network for the next restore.
+func (e *cacheEntry) putFree(net *sim.Network) {
+	e.mu.Lock()
+	e.free = append(e.free, net)
+	e.mu.Unlock()
+}
+
+// cacheKey identifies a snapshot template: everything CompatibleWith pins
+// (the load axis excluded), plus — for warm templates — the capture load
+// and warm-up length.
+func (c *SnapshotCache) cacheKey(cfg *sim.Config, templateLoad float64) string {
+	key := fmt.Sprintf("%s|%s|%d|%+v|%+v|%+v|ring=%v|lat=%v",
+		cfg.Mechanism, cfg.Pattern, cfg.Seed, cfg.Topology, cfg.Router, cfg.Routing,
+		cfg.RingLinks, cfg.LatencyModel)
+	if c.Mode == ReuseWarm {
+		key += fmt.Sprintf("|warm=%d@%.9g", cfg.WarmupCycles, templateLoad)
+	}
+	return key
+}
+
+// snapshotFor returns (building its template exactly once) the cache entry
+// for cfg.
+func (c *SnapshotCache) snapshotFor(cfg *sim.Config, templateLoad float64) (*cacheEntry, error) {
+	key := c.cacheKey(cfg, templateLoad)
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[string]*cacheEntry)
+	}
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		bcfg := *cfg
+		bcfg.Probes = nil
+		bcfg.Tracer = nil
+		bcfg.Load = templateLoad
+		var warm int64
+		if c.Mode == ReuseWarm {
+			warm = bcfg.WarmupCycles
+		}
+		e.snap, e.err = sim.NewSnapshot(bcfg, warm)
+	})
+	return e, e.err
+}
+
+// rewarmTail resolves the re-warm length against the configured warm-up.
+func (c *SnapshotCache) rewarmTail(warmup int64) int64 {
+	if c.ReWarm >= 0 {
+		return c.ReWarm
+	}
+	return warmup / 4
+}
+
+// Run executes one simulation through the cache: restore (building the
+// shared template on first use), run, package the result. The reuse tag
+// records how the point actually ran ("construct", "warm" for an exact
+// same-load warm skip, "rewarm" for a cross-load tail) and travels into
+// the Sample and its checkpoint Record.
+func (c *SnapshotCache) Run(cfg sim.Config, templateLoad float64) (*sim.Result, string, error) {
+	if c == nil || c.Mode == ReuseOff {
+		res, err := sim.Run(cfg)
+		return res, "", err
+	}
+	start := time.Now()
+	e, err := c.snapshotFor(&cfg, templateLoad)
+	if err != nil {
+		return nil, "", err
+	}
+	runCfg := cfg
+	tag := "construct"
+	if c.Mode == ReuseWarm {
+		if cfg.Load == templateLoad {
+			runCfg.WarmupCycles = 0
+			tag = "warm"
+		} else {
+			runCfg.WarmupCycles = c.rewarmTail(cfg.WarmupCycles)
+			tag = "rewarm"
+		}
+	}
+	net, err := sim.RestoreNetworkInto(e.snap, &runCfg, e.takeFree())
+	if err != nil {
+		return nil, "", err
+	}
+	if err := sim.RunNetwork(net, &runCfg); err != nil {
+		return nil, tag, err
+	}
+	res := sim.NewResultFrom(net, &runCfg, time.Since(start))
+	e.putFree(net) // the result aliases nothing in net; recycle it
+	return res, tag, nil
+}

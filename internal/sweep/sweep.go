@@ -37,7 +37,10 @@ type Point struct {
 type Sample struct {
 	Point  Point
 	Result *sim.Result
-	Err    error
+	// Reuse records how the point ran when a snapshot cache served it:
+	// "construct", "warm" or "rewarm" (empty: cold run).
+	Reuse string
+	Err   error
 }
 
 // Series is a seed-averaged curve point.
@@ -64,6 +67,14 @@ type Grid struct {
 	Seeds      []uint64
 	// Workers bounds concurrent simulations (default: NumCPU).
 	Workers int
+
+	// Snapshots, when non-nil with a mode other than ReuseOff, shares
+	// prepared network state between the grid's points: one construction
+	// (or warm) snapshot per mechanism/pattern/seed combination, restored
+	// per point instead of re-building the topology from scratch. Warm
+	// templates are captured at the grid's first load. Several grids may
+	// share one cache; keys keep their templates apart.
+	Snapshots *SnapshotCache
 }
 
 // Points expands the grid into its simulation points in deterministic
@@ -92,8 +103,22 @@ func (g *Grid) RunPoint(pt Point) Sample {
 	cfg.Pattern = pt.Pattern
 	cfg.Load = pt.Load
 	cfg.Seed = pt.Seed
+	if g.Snapshots != nil && g.Snapshots.Mode != ReuseOff {
+		res, tag, err := g.Snapshots.Run(cfg, g.templateLoad(pt))
+		return Sample{Point: pt, Result: res, Reuse: tag, Err: err}
+	}
 	res, err := sim.Run(cfg)
 	return Sample{Point: pt, Result: res, Err: err}
+}
+
+// templateLoad is the deterministic load warm snapshot templates are
+// captured at: the grid's first load, independent of point scheduling
+// order, so concurrent sweeps stay reproducible.
+func (g *Grid) templateLoad(pt Point) float64 {
+	if len(g.Loads) > 0 {
+		return g.Loads[0]
+	}
+	return pt.Load
 }
 
 // Run executes every point of the grid on the shared sweep pool and
