@@ -1,10 +1,16 @@
 // dfsched replays a timed job trace on the simulator: jobs arrive, are
 // placed by the configured allocation policies under a queueing discipline
-// (FCFS or backfill), run their cycle budget or packets-delivered target,
-// depart, and their freed routers are recycled by later arrivals. It
-// reports each job's wait/run/slowdown next to the usual network metrics,
-// and can replicate the whole trace over several seeds on the shared sweep
-// worker pool.
+// (FCFS, aggressive backfill, or EASY backfill), run their cycle budget or
+// packets-delivered target, depart, and their freed routers are recycled by
+// later arrivals. It reports each job's wait/run/slowdown next to the usual
+// network metrics, and can replicate the whole trace over several seeds on
+// the shared sweep worker pool.
+//
+// With -generate N it synthesizes a seeded N-job trace (Poisson arrivals ×
+// lognormal size/duration) instead and runs it on the streaming scheduler
+// core — memory bounded by the jobs concurrently in the system, the run
+// ending at the last departure — comparing every requested discipline ×
+// allocation policy × seed, with optional checkpoint/resume.
 //
 // Usage:
 //
@@ -13,6 +19,8 @@
 //	dfsched -trace trace.json -json
 //	dfsched -job nodes=72,alloc=consecutive,load=0.4,arrival=0 \
 //	        -job nodes=18,arrival=1500,duration=1000,dkind=packets
+//	dfsched -generate 100000 -disciplines fcfs,backfill,easy \
+//	        -checkpoint study.ckpt -out study.json
 //
 // The compact -job syntax is the dfworkload one plus arrival=<cycle>,
 // duration=<n>, dkind=cycles|packets|none. Trace files are the JSON form of
@@ -64,6 +72,7 @@ func main() {
 	seeds := fs.Int("seeds", 1, "replicate the trace over this many seeds (base -seed upward) on the sweep pool")
 	seedJobs := fs.Int("seed-jobs", 0, "concurrent per-seed simulations when -seeds > 1 (0 = NumCPU)")
 	asJSON := fs.Bool("json", false, "emit the result(s) as JSON")
+	buildStudy := studyFlags(fs)
 	attachProbes := cli.ProbeFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -90,6 +99,16 @@ func main() {
 	}
 	cfg.Mechanism = *mech
 	cfg.Load = *load
+
+	if st := buildStudy(cfg); st != nil {
+		if *tracePath != "" || len(jobs) > 0 {
+			fatal(fmt.Errorf("-generate synthesizes its own trace; drop -trace/-job"))
+		}
+		if discSet {
+			fatal(fmt.Errorf("-generate compares the -disciplines list; drop -discipline"))
+		}
+		os.Exit(st.run(cfg, *seeds, *asJSON))
+	}
 
 	trace, err := buildTrace(cfg, *disc, discSet, *tracePath, jobs)
 	if err != nil {

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dragonfly/internal/cli"
+	"dragonfly/internal/report"
+	"dragonfly/internal/scheduler"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/sweep"
+	"dragonfly/internal/topology"
+)
+
+// The -generate study: synthesize one seeded trace per (allocation, seed)
+// and run it under every requested discipline on the streaming scheduler
+// core. Each (discipline, alloc, seed) point condenses into a
+// scheduler.StreamSummary, checkpointed through sweep.Checkpoint: a run
+// killed mid-study resumes from the completed points, and because the
+// summaries are deterministic the final output is byte-identical whether
+// the study was interrupted zero or ten times.
+
+// studyFlags registers the -generate flags and returns a builder for the
+// study parameters (nil when -generate is off).
+func studyFlags(fs *flag.FlagSet) func(cfg sim.Config) *study {
+	var (
+		jobs      = fs.Int("generate", 0, "synthesize a seeded trace with this many jobs instead of replaying -trace/-job")
+		arrival   = fs.Float64("gen-arrival", 30, "generated mean inter-arrival time in cycles")
+		nodesMed  = fs.Float64("gen-nodes-median", 8, "generated median job size in nodes")
+		nodesSig  = fs.Float64("gen-nodes-sigma", 0.7, "generated job size lognormal sigma")
+		cap       = fs.Int("gen-cap", 0, "generated job size cap in nodes (0 = the machine)")
+		durMed    = fs.Float64("gen-dur-median", 300, "generated median job duration in cycles")
+		durSig    = fs.Float64("gen-dur-sigma", 0.7, "generated job duration lognormal sigma")
+		discs     = fs.String("disciplines", "", "comma-separated disciplines to compare (default: all)")
+		allocs    = fs.String("allocs", "consecutive", "comma-separated allocation policies to compare")
+		ckpt      = fs.String("checkpoint", "", "checkpoint completed study points to this JSONL file and resume from it")
+		out       = fs.String("out", "", "write the study summaries as JSON to this file")
+		memProbe  = fs.Bool("gen-mem", false, "measure retained memory at each run's last departure (costs a GC per run)")
+		genCycles = fs.Int64("gen-max-cycles", 0, "cycle cap per generated run (0 = 2^40; the run normally ends at the last departure)")
+	)
+	return func(cfg sim.Config) *study {
+		if *jobs <= 0 {
+			return nil
+		}
+		maxNodes := *cap
+		if maxNodes == 0 {
+			maxNodes = topology.New(cfg.Topology).NumNodes()
+		}
+		discList := cli.SplitList(*discs)
+		if len(discList) == 0 {
+			discList = scheduler.KnownDisciplines()
+		}
+		return &study{
+			spec: scheduler.GenSpec{
+				Jobs:         *jobs,
+				InterArrival: *arrival,
+				NodesMedian:  *nodesMed,
+				NodesSigma:   *nodesSig,
+				MaxNodes:     maxNodes,
+				DurMedian:    *durMed,
+				DurSigma:     *durSig,
+			},
+			discs:     discList,
+			allocs:    cli.SplitList(*allocs),
+			ckptPath:  *ckpt,
+			outPath:   *out,
+			memProbe:  *memProbe,
+			maxCycles: *genCycles,
+		}
+	}
+}
+
+type study struct {
+	spec      scheduler.GenSpec
+	discs     []string
+	allocs    []string
+	ckptPath  string
+	outPath   string
+	memProbe  bool
+	maxCycles int64
+}
+
+// meta fingerprints the study configuration for the checkpoint: resuming
+// under different parameters must fail loudly, not mix incompatible points.
+func (st *study) meta(cfg sim.Config) string {
+	specJSON, _ := json.Marshal(st.spec)
+	return fmt.Sprintf("dfsched-gen|%v|%s|load=%.9g|warmup=%d|%s",
+		cfg.Topology, cfg.Mechanism, cfg.Load, cfg.WarmupCycles, specJSON)
+}
+
+// run executes the study. Returns the process exit code: 130 when
+// interrupted (the checkpoint holds every completed point), 0 on success.
+func (st *study) run(cfg sim.Config, seeds int, asJSON bool) int {
+	for _, d := range st.discs {
+		if err := scheduler.ValidateDiscipline(d); err != nil {
+			fatal(err)
+		}
+	}
+	if len(st.allocs) == 0 {
+		fatal(fmt.Errorf("-allocs lists no allocation policy"))
+	}
+	// The generated run ends at its last departure; the configured cycle
+	// counts only cap it. Leave warm-up untouched (it offsets arrivals the
+	// same way for every discipline) and raise the cap out of the way.
+	cfg.MeasureCycles = 1 << 40
+	if st.maxCycles > 0 {
+		cfg.MeasureCycles = st.maxCycles
+	}
+
+	var ck *sweep.Checkpoint
+	if st.ckptPath != "" {
+		var err error
+		if ck, err = sweep.OpenCheckpoint(st.ckptPath, st.meta(cfg)); err != nil {
+			fatal(err)
+		}
+		defer ck.Close()
+	}
+
+	// First Ctrl-C stops the study between points (the checkpoint stays
+	// consistent and a rerun resumes); a second kills the process.
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(interrupted)
+	stopped := func() bool {
+		select {
+		case <-interrupted:
+			signal.Stop(interrupted)
+			return true
+		default:
+			return false
+		}
+	}
+
+	summaries := make([]scheduler.StreamSummary, 0, len(st.discs)*len(st.allocs)*seeds)
+	restored := 0
+	start := time.Now()
+	for _, disc := range st.discs {
+		for _, alloc := range st.allocs {
+			for s := 0; s < seeds; s++ {
+				if stopped() {
+					fmt.Fprintf(os.Stderr, "dfsched: interrupted after %d/%d points (%v) — rerun with the same flags to resume\n",
+						len(summaries), len(st.discs)*len(st.allocs)*seeds, time.Since(start).Round(time.Second))
+					return 130
+				}
+				seed := cfg.Seed + uint64(s)
+				pt := sweep.Point{Mechanism: disc, Pattern: alloc, Load: cfg.Load, Seed: seed}
+				if rec, ok := ck.Lookup("sched", pt); ok && rec.Err == "" {
+					var sum scheduler.StreamSummary
+					if err := json.Unmarshal(rec.Extra, &sum); err != nil {
+						fatal(fmt.Errorf("checkpoint point %s/%s seed %d: %w", disc, alloc, seed, err))
+					}
+					summaries = append(summaries, sum)
+					restored++
+					continue
+				}
+				sum, err := st.runPoint(cfg, disc, alloc, seed)
+				if err != nil {
+					fatal(err)
+				}
+				extra, err := json.Marshal(sum)
+				if err != nil {
+					fatal(err)
+				}
+				if err := ck.Put(sweep.Record{
+					Task: "sched", Point: pt,
+					Mechanism: disc, Pattern: alloc,
+					Throughput: sum.Utilization, AvgLatency: sum.WaitMean,
+					Extra: extra,
+				}); err != nil {
+					fatal(err)
+				}
+				summaries = append(summaries, sum)
+			}
+		}
+	}
+
+	if st.outPath != "" {
+		if err := writeSummaries(st.outPath, summaries); err != nil {
+			fatal(err)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summaries); err != nil {
+			fatal(err)
+		}
+		return 0
+	}
+	st.render(cfg, summaries, restored, time.Since(start))
+	return 0
+}
+
+// runPoint generates the (alloc, seed) trace and runs it under disc.
+func (st *study) runPoint(cfg sim.Config, disc, alloc string, seed uint64) (scheduler.StreamSummary, error) {
+	spec := st.spec
+	spec.Alloc = alloc
+	gt, err := scheduler.Generate(spec, seed)
+	if err != nil {
+		return scheduler.StreamSummary{}, err
+	}
+	cfg.Seed = seed
+	res, err := scheduler.RunGeneratedOpts(cfg, gt, disc, scheduler.StreamOptions{MeasureRetained: st.memProbe})
+	if err != nil {
+		return scheduler.StreamSummary{}, fmt.Errorf("%s/%s seed %d: %w", disc, alloc, seed, err)
+	}
+	if st.memProbe {
+		fmt.Fprintf(os.Stderr, "dfsched: %s/%s seed %d: retained %.1f MB at last departure (peak %d running, %d queued)\n",
+			disc, alloc, seed, float64(res.RetainedBytes)/(1<<20), res.PeakRunning, res.PeakQueue)
+	}
+	return res.Summary(alloc, seed)
+}
+
+// render prints the study table: one row per point, grouped the way the
+// loops ran them.
+func (st *study) render(cfg sim.Config, summaries []scheduler.StreamSummary, restored int, wall time.Duration) {
+	fmt.Printf("network:    %v\n", topology.New(cfg.Topology).Params())
+	fmt.Printf("mechanism:  %s   load: %.3g   trace: %d jobs, 1/λ=%.4g, nodes med %.4g σ%.3g ≤%d, dur med %.4g σ%.3g\n\n",
+		cfg.Mechanism, cfg.Load, st.spec.Jobs, st.spec.InterArrival,
+		st.spec.NodesMedian, st.spec.NodesSigma, st.spec.MaxNodes, st.spec.DurMedian, st.spec.DurSigma)
+	t := report.NewTable("Discipline", "Alloc", "Seed", "Util", "WaitMean", "SlowP50", "SlowP99", "SlowMean", "PeakRun", "PeakQ", "PktLat")
+	for _, s := range summaries {
+		t.AddRow(s.Discipline, s.Alloc, fmt.Sprintf("%d", s.Seed),
+			fmt.Sprintf("%.4f", s.Utilization),
+			fmt.Sprintf("%.1f", s.WaitMean),
+			fmt.Sprintf("%.2f", s.SlowdownP50),
+			fmt.Sprintf("%.2f", s.SlowdownP99),
+			fmt.Sprintf("%.2f", s.SlowdownMean),
+			fmt.Sprintf("%d", s.PeakRunning),
+			fmt.Sprintf("%d", s.PeakQueue),
+			fmt.Sprintf("%.1f", s.PktLatMean),
+		)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\n%d points in %v (%d restored from checkpoint)\n", len(summaries), wall.Round(time.Millisecond), restored)
+}
+
+// writeSummaries writes the deterministic study output file.
+func writeSummaries(path string, summaries []scheduler.StreamSummary) error {
+	data, err := json.MarshalIndent(summaries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

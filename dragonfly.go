@@ -247,7 +247,7 @@ func JobInterferenceMatrix(cfg Config, wl *workload.Workload, workers int) ([][]
 // ScheduleTrace is a timed job trace for the dynamic scheduler: jobs with
 // arrival cycles, durations (cycle budgets or packets-delivered targets)
 // and workload placement/traffic specs, run under a queueing discipline
-// ("fcfs" or "backfill"). See internal/scheduler and cmd/dfsched.
+// ("fcfs", "backfill" or "easy"). See internal/scheduler and cmd/dfsched.
 type ScheduleTrace = scheduler.Trace
 
 // ScheduleJob is one job of a ScheduleTrace.
@@ -266,6 +266,34 @@ type ScheduleResult = scheduler.Result
 // cycle 0 and never depart reproduces RunWorkload exactly.
 func RunSchedule(cfg Config, trace ScheduleTrace) (*ScheduleResult, error) {
 	return scheduler.Run(cfg, trace)
+}
+
+// GenSpec parameterises a synthetic cluster trace: Poisson arrivals ×
+// lognormal job size and duration. See scheduler.GenSpec.
+type GenSpec = scheduler.GenSpec
+
+// GenTrace is a generated trace in structure-of-arrays form (~20 B/job).
+type GenTrace = scheduler.GenTrace
+
+// StreamResult is the bounded-memory outcome of RunGeneratedTrace: counts,
+// means, streaming quantile sketches and utilization — no per-job slice.
+type StreamResult = scheduler.StreamResult
+
+// GenerateTrace synthesizes a seeded trace. The result is a deterministic
+// function of (spec, seed) alone — same inputs, byte-identical trace.
+func GenerateTrace(spec GenSpec, seed uint64) (*GenTrace, error) {
+	return scheduler.Generate(spec, seed)
+}
+
+// RunGeneratedTrace schedules a generated trace under a discipline on the
+// streaming scheduler core: per-job state is retired at departure and
+// outcomes fold into fixed-memory accumulators, so 100k–1M-job traces run
+// with memory bounded by the jobs concurrently in the system, not the
+// trace length. The run ends at the last departure; the configured cycles
+// only cap it. Deterministic in (trace, discipline, cfg.Seed) and
+// bit-identical for any cfg.Workers.
+func RunGeneratedTrace(cfg Config, gt *GenTrace, disc string) (*StreamResult, error) {
+	return scheduler.RunGenerated(cfg, gt, disc)
 }
 
 // RunWithAppTraffic runs a simulation whose traffic is uniform inside an

@@ -9,6 +9,18 @@ import (
 	"dragonfly/internal/workload"
 )
 
+// reconfigurator is the slice of *sim.Reconfig the controller actually
+// uses. Taking the interface instead of the concrete handle lets the EASY
+// oracle test dry-run the exact production controller — same Apply path,
+// same planStarts decisions — against a fake that records node activity
+// without building a network.
+type reconfigurator interface {
+	SetNodeActive(node int, load float64)
+	SetNodeSilent(node int)
+	SetNodeJob(node, job int)
+	LiveJobDelivered(job int, routers []int) int64
+}
+
 // controller is the sim.Controller that replays a trace: it admits the full
 // job population at construction (job indices and per-job accounting are
 // fixed for the run), then places, polls and releases jobs at cycle
@@ -16,13 +28,17 @@ import (
 // and of per-job delivered counters read at cycle boundaries, so a trace
 // replays bit-identically on every engine.
 type controller struct {
-	wl       *workload.Workload
-	backfill bool
-	jobs     []jobState
-	order    []int // job indices sorted by (arrival, trace position)
-	nextArr  int   // next unqueued entry of order
-	queue    []int // arrived, waiting; in (arrival, trace position) order
-	running  []int // placed, not yet departed; in placement order
+	wl      *workload.Workload
+	disc    string
+	jobs    []jobState
+	order   []int // job indices sorted by (arrival, trace position)
+	nextArr int   // next unqueued entry of order
+	queue   []int // arrived, waiting; in (arrival, trace position) order
+	running []int // placed, not yet departed; in placement order
+
+	// planStarts scratch, reused across events.
+	qScratch []qJob
+	rScratch []rJob
 }
 
 // jobState is one job's lifecycle.
@@ -31,6 +47,7 @@ type jobState struct {
 	durCycles  int64 // > 0: departs at start+durCycles
 	targetPkts int64 // > 0: departs once this many packets delivered
 	load       float64
+	need       int   // routers the job occupies when placed
 	start      int64 // -1 until placed
 	completion int64 // -1 until departed
 	routers    []int // allocation, captured at placement
@@ -42,10 +59,10 @@ type jobState struct {
 func newController(t *topology.Topology, tr Trace, seed uint64) (*controller, *workload.Workload, error) {
 	wl := workload.NewDynamic(t, seed)
 	c := &controller{
-		wl:       wl,
-		backfill: tr.Discipline == DisciplineBackfill,
-		jobs:     make([]jobState, len(tr.Jobs)),
-		order:    make([]int, len(tr.Jobs)),
+		wl:    wl,
+		disc:  tr.Discipline,
+		jobs:  make([]jobState, len(tr.Jobs)),
+		order: make([]int, len(tr.Jobs)),
 	}
 	for i := range tr.Jobs {
 		tj := &tr.Jobs[i]
@@ -60,6 +77,7 @@ func newController(t *topology.Topology, tr Trace, seed uint64) (*controller, *w
 		st := &c.jobs[j]
 		st.arrival = tj.Arrival
 		st.load = wl.JobSpecOf(j).Load
+		st.need = wl.RoutersFor(j)
 		st.start, st.completion = -1, -1
 		switch tj.DurationKind {
 		case DurationCycles:
@@ -105,10 +123,14 @@ func (c *controller) NextEvent(now int64) int64 {
 	return next
 }
 
-// Apply implements sim.Controller: departures first (so a same-cycle
+// Apply implements sim.Controller by delegating to the reconfigurator-typed
+// apply, the path the oracle test dry-runs.
+func (c *controller) Apply(rc *sim.Reconfig, now int64) { c.apply(rc, now) }
+
+// apply processes one scheduler event: departures first (so a same-cycle
 // arrival can recycle the freed allocation), then arrivals, then placement
-// under the discipline.
-func (c *controller) Apply(rc *sim.Reconfig, now int64) {
+// under the discipline via planStarts.
+func (c *controller) apply(rc reconfigurator, now int64) {
 	for i := 0; i < len(c.running); {
 		j := c.running[i]
 		st := &c.jobs[j]
@@ -132,23 +154,52 @@ func (c *controller) Apply(rc *sim.Reconfig, now int64) {
 		c.queue = append(c.queue, c.order[c.nextArr])
 		c.nextArr++
 	}
-	for i := 0; i < len(c.queue); {
-		j := c.queue[i]
-		if !c.wl.Fits(j) {
-			if !c.backfill {
-				return // FCFS: a blocked head blocks everything behind it
-			}
-			i++
+	if len(c.queue) == 0 {
+		return
+	}
+	c.qScratch = c.qScratch[:0]
+	for _, j := range c.queue {
+		st := &c.jobs[j]
+		dur := int64(-1)
+		if st.durCycles > 0 {
+			dur = st.durCycles
+		}
+		c.qScratch = append(c.qScratch, qJob{need: st.need, dur: dur})
+	}
+	c.rScratch = c.rScratch[:0]
+	for _, j := range c.running {
+		st := &c.jobs[j]
+		end := int64(-1)
+		if st.durCycles > 0 {
+			end = st.start + st.durCycles
+		}
+		c.rScratch = append(c.rScratch, rJob{need: st.need, end: end})
+	}
+	picks := planStarts(c.disc, now, c.wl.FreeRouters(), c.qScratch, c.rScratch)
+	if len(picks) == 0 {
+		return
+	}
+	// Place in ascending queue order — the order planStarts returns — so
+	// the allocation RNG stream matches the pre-planStarts controller's
+	// scan-in-queue-order placement exactly.
+	for _, k := range picks {
+		c.place(rc, c.queue[k], now)
+	}
+	kept := c.queue[:0]
+	pi := 0
+	for i, j := range c.queue {
+		if pi < len(picks) && picks[pi] == i {
+			pi++
 			continue
 		}
-		c.place(rc, j, now)
-		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		kept = append(kept, j)
 	}
+	c.queue = kept
 }
 
-// place allocates job j now and activates its nodes. Fits was checked and
-// Admit validated the spec, so Place cannot fail here.
-func (c *controller) place(rc *sim.Reconfig, j int, now int64) {
+// place allocates job j now and activates its nodes. planStarts only picks
+// jobs that fit and Admit validated the spec, so Place cannot fail here.
+func (c *controller) place(rc reconfigurator, j int, now int64) {
 	if err := c.wl.Place(j); err != nil {
 		panic(fmt.Sprintf("scheduler: placing admitted job that fits: %v", err))
 	}

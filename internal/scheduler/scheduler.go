@@ -2,8 +2,10 @@
 // simulator: it drives one simulation through a timed job trace — jobs with
 // an arrival cycle, a node count, a duration (a cycle budget or a
 // packets-delivered target, or none) and a workload.JobSpec placement/
-// traffic description — under a queueing discipline (FCFS or aggressive
-// backfill). Arriving jobs are placed with the existing allocation policies
+// traffic description — under a queueing discipline (FCFS, aggressive
+// backfill, or EASY reservation-based backfill: see planStarts for the
+// decision core shared by all three). Arriving jobs are placed with the
+// existing allocation policies
 // (consecutive/random/spread), departing jobs free their routers for
 // recycling, and each job's wait, run and slowdown are recorded next to the
 // usual network metrics.
@@ -35,6 +37,15 @@ const (
 	// not (aggressive backfill: no reservation for the head job, so small
 	// late jobs may delay a large blocked one).
 	DisciplineBackfill = "backfill"
+	// DisciplineEASY is reservation-based (EASY) backfill: a blocked head
+	// job gets a shadow-time reservation computed from the running jobs'
+	// remaining cycle budgets, and a queued job may only jump ahead if it
+	// fits now and either finishes by the shadow time or uses routers the
+	// head will not need then — so backfilling never delays the head. The
+	// reservation is exact for cycle-duration jobs; running jobs with
+	// unknown durations contribute nothing to the shadow computation (see
+	// planStarts).
+	DisciplineEASY = "easy"
 )
 
 // Duration kind names.
@@ -50,7 +61,9 @@ const (
 
 // KnownDisciplines lists the queueing discipline names, for flag usage
 // strings and error messages.
-func KnownDisciplines() []string { return []string{DisciplineFCFS, DisciplineBackfill} }
+func KnownDisciplines() []string {
+	return []string{DisciplineFCFS, DisciplineBackfill, DisciplineEASY}
+}
 
 // KnownDurationKinds lists the duration kind names.
 func KnownDurationKinds() []string { return []string{DurationNone, DurationCycles, DurationPackets} }
@@ -60,7 +73,7 @@ func KnownDurationKinds() []string { return []string{DurationNone, DurationCycle
 // the FCFS default).
 func ValidateDiscipline(name string) error {
 	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "", DisciplineFCFS, DisciplineBackfill:
+	case "", DisciplineFCFS, DisciplineBackfill, DisciplineEASY:
 		return nil
 	}
 	return fmt.Errorf("scheduler: unknown discipline %q (known: %s)",
@@ -84,7 +97,7 @@ type TraceJob struct {
 
 // Trace is a timed job trace: the dfsched -trace JSON form.
 type Trace struct {
-	// Discipline is "fcfs" (default) or "backfill".
+	// Discipline is "fcfs" (default), "backfill" or "easy".
 	Discipline string     `json:"discipline,omitempty"`
 	Jobs       []TraceJob `json:"jobs"`
 }

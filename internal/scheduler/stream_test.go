@@ -1,0 +1,294 @@
+package scheduler
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+)
+
+// genSpecSmall is the shared trace shape the streaming tests draw from: a
+// ~67%-offered-load open system on the h=2 test machine (72 nodes), small
+// enough that every discipline drains it in a few thousand cycles.
+func genSpecSmall(jobs int) GenSpec {
+	return GenSpec{
+		Jobs:         jobs,
+		InterArrival: 30,
+		NodesMedian:  10,
+		NodesSigma:   0.7,
+		MaxNodes:     72,
+		DurMedian:    300,
+		DurSigma:     0.7,
+		Load:         0.3,
+	}
+}
+
+// Same spec and seed must yield a byte-identical trace — repeatedly, and
+// from concurrent goroutines (the generator is a pure function; worker
+// count and call interleaving cannot touch it). A different seed must not.
+func TestGenerateDeterminism(t *testing.T) {
+	spec := genSpecSmall(2000)
+	ref, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	got := make([][]byte, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gt, err := Generate(spec, 42)
+			if err != nil {
+				return // left nil; caught below
+			}
+			got[g], _ = json.Marshal(gt)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if !bytes.Equal(got[g], refJSON) {
+			t.Fatalf("goroutine %d: trace differs from the serial reference", g)
+		}
+	}
+	other, err := Generate(spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherJSON, _ := json.Marshal(other)
+	if bytes.Equal(otherJSON, refJSON) {
+		t.Fatal("seeds 42 and 43 generated identical traces")
+	}
+}
+
+// A 100k-job draw must track the spec's distribution parameters: mean
+// inter-arrival within 2%, median size within 10%, median duration within
+// 5%, arrivals nondecreasing, every job inside its clamps.
+func TestGenerateDistribution(t *testing.T) {
+	spec := GenSpec{
+		Jobs:         100_000,
+		InterArrival: 20,
+		NodesMedian:  8,
+		NodesSigma:   0.6,
+		MaxNodes:     72,
+		DurMedian:    200,
+		DurSigma:     0.8,
+	}
+	gt, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < gt.Len(); i++ {
+		if i > 0 && gt.Arrival[i] < gt.Arrival[i-1] {
+			t.Fatalf("job %d arrives at %d, before job %d at %d", i, gt.Arrival[i], i-1, gt.Arrival[i-1])
+		}
+		if n := gt.Nodes[i]; n < 2 || n > int32(spec.MaxNodes) {
+			t.Fatalf("job %d: %d nodes outside [2, %d]", i, n, spec.MaxNodes)
+		}
+		if gt.Duration[i] < 1 {
+			t.Fatalf("job %d: duration %d < 1", i, gt.Duration[i])
+		}
+	}
+	meanIA := float64(gt.Arrival[gt.Len()-1]) / float64(gt.Len())
+	if meanIA < spec.InterArrival*0.98 || meanIA > spec.InterArrival*1.02 {
+		t.Errorf("mean inter-arrival %v, want %v ±2%%", meanIA, spec.InterArrival)
+	}
+	nodes := append([]int32(nil), gt.Nodes...)
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+	if med := float64(nodes[len(nodes)/2]); med < spec.NodesMedian*0.9 || med > spec.NodesMedian*1.1 {
+		t.Errorf("median nodes %v, want %v ±10%%", med, spec.NodesMedian)
+	}
+	durs := append([]int64(nil), gt.Duration...)
+	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+	if med := float64(durs[len(durs)/2]); med < spec.DurMedian*0.95 || med > spec.DurMedian*1.05 {
+		t.Errorf("median duration %v, want %v ±5%%", med, spec.DurMedian)
+	}
+}
+
+// lifecycles drives RunGenerated with hooks installed and returns each
+// trace job's start and completion cycles plus the run's StreamResult.
+func lifecycles(t *testing.T, cfg sim.Config, gt *GenTrace, disc string) (starts, comps []int64, res *StreamResult) {
+	t.Helper()
+	starts = make([]int64, gt.Len())
+	comps = make([]int64, gt.Len())
+	for i := range starts {
+		starts[i], comps[i] = -1, -1
+	}
+	streamTestHook = func(c *genController) {
+		c.onPlace = func(idx int, now int64) { starts[idx] = now }
+		c.onComplete = func(idx int, now int64) { comps[idx] = now }
+	}
+	defer func() { streamTestHook = nil }()
+	res, err := RunGenerated(cfg, gt, disc)
+	if err != nil {
+		t.Fatalf("RunGenerated(%s): %v", disc, err)
+	}
+	return starts, comps, res
+}
+
+// The streaming core and the detailed replay controller must agree job for
+// job — same start cycle, same completion cycle — on any trace both can
+// run, for every discipline. They share planStarts, so a disagreement means
+// the surrounding event plumbing (arrival batching, departure order,
+// queue compaction) has diverged.
+func TestStreamMatchesDetailed(t *testing.T) {
+	jobs := 150
+	if testing.Short() {
+		jobs = 60
+	}
+	gt, err := Generate(genSpecSmall(jobs), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disc := range KnownDisciplines() {
+		cfg := schedCfg()
+		cfg.MeasureCycles = 1 << 20 // cap only: the Finisher ends the run
+		starts, comps, res := lifecycles(t, cfg, gt, disc)
+		if res.Completed != gt.Len() {
+			t.Fatalf("%s: streaming run completed %d/%d jobs", disc, res.Completed, gt.Len())
+		}
+
+		cfg2 := schedCfg()
+		cfg2.MeasureCycles = res.LastDeparture + 100 // full horizon: no censoring
+		det, err := Run(cfg2, gt.Trace(disc))
+		if err != nil {
+			t.Fatalf("Run(%s): %v", disc, err)
+		}
+		if det.Completed != gt.Len() {
+			t.Fatalf("%s: detailed run completed %d/%d jobs", disc, det.Completed, gt.Len())
+		}
+		for i := range det.Jobs {
+			if det.Jobs[i].Start != starts[i] || det.Jobs[i].Completion != comps[i] {
+				t.Fatalf("%s job %d: detailed (start %d, completion %d) vs streaming (start %d, completion %d)",
+					disc, i, det.Jobs[i].Start, det.Jobs[i].Completion, starts[i], comps[i])
+			}
+		}
+	}
+}
+
+// One generated trace must produce a bit-identical StreamResult — scalars,
+// network measurement and serialized sketch bytes — on the scheduler and
+// dense reference engines at Workers 1, 2 and NumCPU.
+func TestStreamEngineIdentity(t *testing.T) {
+	gt, err := Generate(genSpecSmall(60), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *StreamResult
+	var wantSketches [][]byte
+	for _, ec := range engineMatrix() {
+		cfg := schedCfg()
+		cfg.Workers = ec.workers
+		cfg.MeasureCycles = 1 << 20
+		res, err := runGenerated(cfg, gt, DisciplineEASY, StreamOptions{}, ec.drive)
+		if err != nil {
+			t.Fatalf("%s: %v", ec.name, err)
+		}
+		normalizeSim(res.Sim)
+		sketches := make([][]byte, 0, 3)
+		for _, sk := range []*stats.Sketch{&res.Wait, &res.RunTime, &res.Slowdown} {
+			b, err := sk.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: marshal sketch: %v", ec.name, err)
+			}
+			sketches = append(sketches, b)
+		}
+		if want == nil {
+			want, wantSketches = res, sketches
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Fatalf("%s: StreamResult differs from %s", ec.name, engineMatrix()[0].name)
+		}
+		for i := range sketches {
+			if !bytes.Equal(sketches[i], wantSketches[i]) {
+				t.Fatalf("%s: sketch %d bytes differ from %s", ec.name, i, engineMatrix()[0].name)
+			}
+		}
+	}
+}
+
+// liveHeap reports the live heap after a settling GC.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// retainedAtDrain runs a generated trace and measures the live heap at the
+// last departure — the moment the whole run (trace, controller, workload,
+// network, accumulators) is still reachable.
+func retainedAtDrain(t *testing.T, jobs int, seed uint64) uint64 {
+	t.Helper()
+	spec := GenSpec{
+		Jobs:         jobs,
+		InterArrival: 3,
+		NodesMedian:  8,
+		NodesSigma:   0.5,
+		MaxNodes:     72,
+		DurMedian:    15,
+		DurSigma:     0.5,
+	}
+	gt, err := Generate(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live uint64
+	streamTestHook = func(c *genController) {
+		c.onComplete = func(idx int, now int64) {
+			if c.completed == c.gt.Len() {
+				live = liveHeap()
+			}
+		}
+	}
+	defer func() { streamTestHook = nil }()
+	cfg := schedCfg()
+	cfg.MeasureCycles = 1 << 22
+	res, err := RunGenerated(cfg, gt, DisciplineEASY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != jobs {
+		t.Fatalf("completed %d/%d jobs", res.Completed, jobs)
+	}
+	if live == 0 {
+		t.Fatal("memory probe never fired")
+	}
+	return live
+}
+
+// The memory-flatness regression: retained state at end of run must not
+// scale with trace length beyond the trace's own ~20 B/job structure-of-
+// arrays footprint plus the workload's per-admission slot. A long trace and
+// a short one therefore differ by a small constant per job — if someone
+// reintroduces a per-job result slice, per-job names, or O(jobs) network
+// attribution, the per-job delta jumps by an order of magnitude and this
+// test fails.
+func TestStreamMemoryFlat(t *testing.T) {
+	small, large := 1_000, 50_000
+	if testing.Short() {
+		small, large = 500, 5_000
+	}
+	liveSmall := retainedAtDrain(t, small, 5)
+	liveLarge := retainedAtDrain(t, large, 5)
+	perJob := (float64(liveLarge) - float64(liveSmall)) / float64(large-small)
+	t.Logf("live heap at drain: %d jobs → %d B, %d jobs → %d B (%.1f B/job marginal)",
+		small, liveSmall, large, liveLarge, perJob)
+	const budget = 96 // ~20 B/job trace + 8 B/job workload slot + slack
+	if perJob > budget {
+		t.Fatalf("retained memory grows %.1f B/job, budget %d B/job — per-job state is being retained", perJob, budget)
+	}
+}

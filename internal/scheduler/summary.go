@@ -1,0 +1,91 @@
+package scheduler
+
+import "fmt"
+
+// StreamSummary is the portable, deterministic condensation of a
+// StreamResult: everything a utilization-vs-slowdown study needs per
+// operating point, including the serialized quantile sketches (JSON
+// renders the byte slices as base64), and nothing run-environment-bound —
+// no wall clock, no memory telemetry — so two runs of the same point
+// produce byte-identical summaries and checkpointed studies can be
+// compared file-for-file across interrupts.
+type StreamSummary struct {
+	Discipline string `json:"discipline"`
+	Alloc      string `json:"alloc"`
+	Seed       uint64 `json:"seed"`
+
+	Jobs          int   `json:"jobs"`
+	Started       int   `json:"started"`
+	Completed     int   `json:"completed"`
+	LastDeparture int64 `json:"last_departure"`
+	RanCycles     int64 `json:"ran_cycles"`
+
+	Utilization  float64 `json:"utilization"`
+	WaitMean     float64 `json:"wait_mean"`
+	WaitP50      float64 `json:"wait_p50"`
+	WaitP99      float64 `json:"wait_p99"`
+	RunMean      float64 `json:"run_mean"`
+	SlowdownMean float64 `json:"slowdown_mean"`
+	SlowdownP50  float64 `json:"slowdown_p50"`
+	SlowdownP99  float64 `json:"slowdown_p99"`
+
+	PeakRunning int `json:"peak_running"`
+	PeakQueue   int `json:"peak_queue"`
+
+	// NetThroughput and PktLatMean are the network-side view of the same
+	// run: accepted load in phits/(node·cycle) and mean packet latency in
+	// cycles. Scheduling metrics above are placement-invariant for
+	// cycle-duration jobs (durations are exogenous, and the count-based
+	// resource model sees only node counts); these two are where the
+	// allocation policy shows up.
+	NetThroughput float64 `json:"net_throughput"`
+	PktLatMean    float64 `json:"pkt_lat_mean"`
+
+	// WaitSketch, RunSketch and SlowdownSketch are the stats.Sketch
+	// serializations (see stats.Sketch.MarshalBinary) — mergeable across
+	// seeds or shards without the per-job data.
+	WaitSketch     []byte `json:"wait_sketch"`
+	RunSketch      []byte `json:"run_sketch"`
+	SlowdownSketch []byte `json:"slowdown_sketch"`
+}
+
+// Summary condenses the result for checkpointing and study output. alloc
+// and seed identify the operating point (the StreamResult itself does not
+// know which allocation policy or seed produced it).
+func (r *StreamResult) Summary(alloc string, seed uint64) (StreamSummary, error) {
+	s := StreamSummary{
+		Discipline:    r.Discipline,
+		Alloc:         alloc,
+		Seed:          seed,
+		Jobs:          r.Jobs,
+		Started:       r.Started,
+		Completed:     r.Completed,
+		LastDeparture: r.LastDeparture,
+		RanCycles:     r.RanCycles,
+		Utilization:   r.Utilization,
+		WaitMean:      r.WaitMean,
+		WaitP50:       r.Wait.Quantile(0.50),
+		WaitP99:       r.Wait.Quantile(0.99),
+		RunMean:       r.RunMean,
+		SlowdownMean:  r.SlowdownMean,
+		SlowdownP50:   r.Slowdown.Quantile(0.50),
+		SlowdownP99:   r.Slowdown.Quantile(0.99),
+		PeakRunning:   r.PeakRunning,
+		PeakQueue:     r.PeakQueue,
+	}
+	if r.Sim != nil {
+		s.NetThroughput = r.Sim.Throughput()
+		s.PktLatMean = r.Sim.AvgLatency()
+	}
+	var err error
+	if s.WaitSketch, err = r.Wait.MarshalBinary(); err != nil {
+		return s, fmt.Errorf("scheduler: wait sketch: %w", err)
+	}
+	if s.RunSketch, err = r.RunTime.MarshalBinary(); err != nil {
+		return s, fmt.Errorf("scheduler: run sketch: %w", err)
+	}
+	if s.SlowdownSketch, err = r.Slowdown.MarshalBinary(); err != nil {
+		return s, fmt.Errorf("scheduler: slowdown sketch: %w", err)
+	}
+	return s, nil
+}

@@ -237,12 +237,20 @@ func (s *seqRun) cycle(now int64) error {
 func runSequential(net *Network, warmup, total int64, ctrl Controller) error {
 	s := newSeqRun(net, warmup, total, ctrl)
 	defer s.finish()
+	fin, _ := ctrl.(Finisher)
+	net.stoppedAt = 0
+	ran := total
 	for now := int64(0); now < total; now++ {
 		if err := s.cycle(now); err != nil {
 			return err
 		}
+		if fin != nil && fin.Finished(now) {
+			ran = now + 1
+			net.stoppedAt = ran
+			break
+		}
 	}
-	net.ranCycles += total
+	net.ranCycles += ran
 	return nil
 }
 
@@ -397,6 +405,9 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 		}
 	}()
 
+	fin, _ := ctrl.(Finisher)
+	net.stoppedAt = 0
+	ran := total
 	var lastSeen int64
 	measure := total - warmup
 	batch := -1
@@ -475,9 +486,14 @@ func runParallel(net *Network, warmup, total int64, workers int, ctrl Controller
 				return err
 			}
 		}
+		if fin != nil && fin.Finished(now) {
+			ran = now + 1
+			net.stoppedAt = ran
+			break
+		}
 	}
 	net.engineSteps = sched.steps
-	net.ranCycles += total
+	net.ranCycles += ran
 	return nil
 }
 
@@ -488,6 +504,9 @@ func runSequentialRef(net *Network, warmup, total int64, ctrl Controller) error 
 	reconf := newReconfigRun(net, ctrl)
 	probes := newProbeRun(net, warmup)
 	defer probes.finish()
+	fin, _ := ctrl.(Finisher)
+	net.stoppedAt = 0
+	ran := total
 	measure := total - warmup
 	var lastSeen int64
 	batch := -1
@@ -511,9 +530,14 @@ func runSequentialRef(net *Network, warmup, total int64, ctrl Controller) error 
 				return err
 			}
 		}
+		if fin != nil && fin.Finished(now) {
+			ran = now + 1
+			net.stoppedAt = ran
+			break
+		}
 	}
-	net.engineSteps = int64(len(net.Routers)) * total
-	net.ranCycles += total
+	net.engineSteps = int64(len(net.Routers)) * ran
+	net.ranCycles += ran
 	return nil
 }
 
@@ -563,6 +587,9 @@ func runParallelRef(net *Network, warmup, total int64, workers int, ctrl Control
 		}
 	}()
 
+	fin, _ := ctrl.(Finisher)
+	net.stoppedAt = 0
+	ran := total
 	var lastSeen int64
 	measure := total - warmup
 	batch := -1
@@ -589,8 +616,13 @@ func runParallelRef(net *Network, warmup, total int64, workers int, ctrl Control
 				return err
 			}
 		}
+		if fin != nil && fin.Finished(now) {
+			ran = now + 1
+			net.stoppedAt = ran
+			break
+		}
 	}
-	net.engineSteps = int64(len(net.Routers)) * total
-	net.ranCycles += total
+	net.engineSteps = int64(len(net.Routers)) * ran
+	net.ranCycles += ran
 	return nil
 }

@@ -87,6 +87,12 @@ type Network struct {
 	// rebase delta that shifts captured state back to cycle 0.
 	ranCycles int64
 
+	// stoppedAt is the cycle count the last engine run actually executed
+	// when a Finisher controller ended it before the configured horizon
+	// (0: the run went the full distance). newResult uses it to scale
+	// per-cycle metrics by measured — not configured — cycles.
+	stoppedAt int64
+
 	// core is the structure-of-arrays router state the scheduler engines
 	// step (see router.Core). It is run-scoped: built from the wired
 	// routers when a scheduler engine starts — so it captures any

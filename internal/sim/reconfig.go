@@ -41,6 +41,22 @@ type Controller interface {
 	Apply(rc *Reconfig, now int64)
 }
 
+// Finisher is an optional Controller extension for runs whose length is a
+// property of the workload rather than the Config: when the controller also
+// implements Finisher, every engine checks Finished at the end of each
+// cycle and stops the run after the first cycle for which it reports true.
+// The check runs at the same point of every engine's loop — after the full
+// cycle body, with workers quiescent — and Finished must be a deterministic
+// function of cycle-boundary state, so early-stopped runs remain
+// bit-identical across engines and worker counts. The Result of an
+// early-stopped run reports the cycles actually measured (see
+// Result.MeasuredCycles), not the configured horizon.
+type Finisher interface {
+	// Finished reports whether the workload is complete as of the end of
+	// cycle now. Once true it must stay true for every later cycle.
+	Finished(now int64) bool
+}
+
 // Reconfig is the mutation handle a Controller receives. It records which
 // routers were touched so the engine can refresh their generation calendars
 // and wake them.

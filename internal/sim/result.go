@@ -40,12 +40,21 @@ type Result struct {
 }
 
 func newResult(net *Network, cfg *Config, wall time.Duration) *Result {
+	// A Finisher-stopped run measured fewer cycles than configured; scale
+	// the per-cycle metrics by what actually ran past warm-up.
+	measured := cfg.MeasureCycles
+	if net.stoppedAt > 0 {
+		measured = net.stoppedAt - cfg.WarmupCycles
+		if measured < 1 {
+			measured = 1
+		}
+	}
 	res := &Result{
 		Mechanism:       net.mech.Name(),
 		Pattern:         net.pattern.Name(),
 		OfferedLoad:     cfg.Load,
 		Nodes:           net.Topo.NumNodes(),
-		MeasuredCycles:  cfg.MeasureCycles,
+		MeasuredCycles:  measured,
 		PerRouter:       make([]stats.Router, len(net.Routers)),
 		RoutersPerGroup: cfg.Topology.A,
 		Wall:            wall,

@@ -52,6 +52,13 @@ type Record struct {
 	// checkpointed too: resuming does not re-run a point that will
 	// deadlock again.
 	Err string `json:"err,omitempty"`
+
+	// Extra carries a pipeline-specific payload verbatim — e.g. the
+	// scheduler study's per-point summary with its serialized quantile
+	// sketches. Aggregation ignores it; it exists so pipelines whose
+	// outcome is richer than the fixed fields above can still resume from
+	// a checkpoint without a side store.
+	Extra json.RawMessage `json:"extra,omitempty"`
 }
 
 // RecordOf condenses a completed sample into its checkpoint record. A

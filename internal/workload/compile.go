@@ -37,6 +37,15 @@ type Workload struct {
 	freeRouters int
 	root        *rng.Source
 	names       map[string]bool // admitted job names, for duplicate checks
+
+	// anon marks a streaming workload (NewDynamicStream): job identity is
+	// positional only — no name bookkeeping, no per-job attribution arrays
+	// in the network (NumJobs reports 0), and Retire may reclaim a released
+	// job's compiled state. This is what keeps retained memory flat in
+	// trace length for 100k+-job scheduler runs.
+	anon bool
+	// retired counts jobs whose state Retire has reclaimed.
+	retired int
 }
 
 // job is the compiled form of a JobSpec.
@@ -143,6 +152,12 @@ func validateRankPattern(name string, n int) error {
 	}
 }
 
+// ValidatePattern checks an intra-job pattern name against a job size
+// without compiling it — the O(1) admission-time check, exported so trace
+// generators can reject a bad (pattern, size) pair for every job of a
+// 100k-job trace before the run starts instead of panicking at placement.
+func ValidatePattern(name string, n int) error { return validateRankPattern(name, n) }
+
 // Compile places every job of the spec on the topology and builds the
 // node-level pattern. seed drives the compile-time random choices
 // (random allocation, PERM pairings) — typically the run's seed, so a
@@ -239,6 +254,9 @@ func (w *Workload) Name() string {
 	if w.name != "" {
 		return w.name
 	}
+	if w.anon {
+		return "STREAM"
+	}
 	labels := make([]string, len(w.jobs))
 	for i, jb := range w.jobs {
 		labels[i] = jb.spec.Name
@@ -286,8 +304,17 @@ func (w *Workload) NodeLoad(node int) float64 {
 	return 0
 }
 
-// NumJobs implements traffic.JobMapper.
-func (w *Workload) NumJobs() int { return len(w.jobs) }
+// NumJobs implements traffic.JobMapper. A streaming workload reports 0:
+// the network sizes its per-job attribution arrays (O(jobs × routers))
+// from this at construction, and a cluster-lifetime trace must not pay
+// that footprint — per-job accounting lives in the scheduler's bounded
+// streaming stats instead.
+func (w *Workload) NumJobs() int {
+	if w.anon {
+		return 0
+	}
+	return len(w.jobs)
+}
 
 // JobName implements traffic.JobMapper.
 func (w *Workload) JobName(j int) string { return w.jobs[j].spec.Name }

@@ -50,6 +50,19 @@ func NewDynamic(t *topology.Topology, seed uint64) *Workload {
 	return w
 }
 
+// NewDynamicStream returns a dynamic workload in streaming mode for
+// cluster-lifetime traces: jobs are identified by index only, the network
+// builds no per-job attribution arrays (NumJobs reports 0), and Retire
+// reclaims a released job's compiled state — so retained memory is bounded
+// by the jobs concurrently admitted, not by trace length. Placement and
+// RNG semantics are identical to NewDynamic.
+func NewDynamicStream(t *topology.Topology, seed uint64) *Workload {
+	w := NewDynamic(t, seed)
+	w.anon = true
+	w.names = nil
+	return w
+}
+
 // Admit registers a job without placing it: the spec is normalised and
 // validated (allocation policy, pattern names against the job size, phase
 // fields), the job index is reserved, and per-job accounting is sized. It
@@ -59,7 +72,10 @@ func (w *Workload) Admit(js JobSpec) (int, error) {
 	if err := js.normalize(idx); err != nil {
 		return -1, err
 	}
-	if w.names[js.Name] {
+	// Streaming workloads skip name bookkeeping: indices are the only
+	// identity, and a map over every job ever admitted would grow with
+	// the trace.
+	if !w.anon && w.names[js.Name] {
 		return -1, fmt.Errorf("workload: duplicate job name %q", js.Name)
 	}
 	// Pattern names are validated now, against the job's rank count, so
@@ -69,7 +85,9 @@ func (w *Workload) Admit(js JobSpec) (int, error) {
 			return -1, fmt.Errorf("workload: job %q: %w", js.Name, err)
 		}
 	}
-	w.names[js.Name] = true
+	if !w.anon {
+		w.names[js.Name] = true
+	}
 	w.jobs = append(w.jobs, &job{spec: js})
 	return idx, nil
 }
@@ -195,3 +213,28 @@ func (w *Workload) Release(j int) {
 func (w *Workload) JobNodeIDs(j int) []int {
 	return append([]int(nil), w.jobs[j].nodes...)
 }
+
+// Retire reclaims the compiled state (nodes, routers, patterns, spec) of a
+// released job in a streaming workload: after Retire the index is dead and
+// any further access to job j panics on a nil dereference — deliberately,
+// since touching a retired job is a lifecycle bug. Only streaming
+// workloads may retire (static workloads keep placement history for
+// reporting); the job must have been released first, so no node→job entry
+// can still point at it.
+func (w *Workload) Retire(j int) {
+	if !w.anon {
+		panic("workload: Retire on a non-streaming workload")
+	}
+	jb := w.jobs[j]
+	if jb == nil {
+		panic(fmt.Sprintf("workload: Retire(%d) twice", j))
+	}
+	if jb.routers != nil && !jb.released {
+		panic(fmt.Sprintf("workload: Retire(%d) of a still-placed job", j))
+	}
+	w.jobs[j] = nil
+	w.retired++
+}
+
+// Retired returns the number of jobs whose state Retire has reclaimed.
+func (w *Workload) Retired() int { return w.retired }
