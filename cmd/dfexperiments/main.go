@@ -47,6 +47,7 @@ import (
 	"dragonfly/internal/prof"
 	"dragonfly/internal/report"
 	"dragonfly/internal/routing"
+	"dragonfly/internal/serve"
 	"dragonfly/internal/sweep"
 	"dragonfly/internal/telemetry"
 	"dragonfly/internal/topology"
@@ -155,7 +156,7 @@ func main() {
 	live := telemetry.NewLive()
 	live.SetTotal(pipe.TotalPoints())
 	if *listen != "" {
-		addr, err := live.Serve(*listen)
+		addr, err := serve.ServeLive(live, *listen)
 		if err != nil {
 			fatal(err)
 		}

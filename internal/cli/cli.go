@@ -131,6 +131,28 @@ func ProbeFlags(fs *flag.FlagSet) func(cfg *sim.Config) (func() error, error) {
 	}
 }
 
+// KnownArbitrations lists the arbitration policy names accepted by
+// ArbitrationByName, in router.Arbitration order.
+func KnownArbitrations() []string {
+	return []string{"round-robin", "transit-priority", "age"}
+}
+
+// ArbitrationByName resolves an output-arbiter policy by the name its
+// String method prints — the spec-file counterpart of the -priority/-age
+// flags, shared by the serve submission path.
+func ArbitrationByName(name string) (router.Arbitration, error) {
+	switch strings.ToLower(name) {
+	case "round-robin", "rr":
+		return router.RoundRobin, nil
+	case "transit-priority", "priority":
+		return router.TransitOverInjection, nil
+	case "age":
+		return router.AgeBased, nil
+	default:
+		return 0, fmt.Errorf("unknown arbitration %q (known: %s)", name, strings.Join(KnownArbitrations(), ", "))
+	}
+}
+
 // ValidateNames checks mechanism and pattern names against their
 // registries — listing the registered names on a mismatch — so tools
 // reject typos at flag time instead of deep inside the first simulation.

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dragonfly/internal/cli"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/sweep"
+	"dragonfly/internal/topology"
+)
+
+// Spec is the portable JSON description of one sweep submission — the
+// wire form a dfserved client POSTs and a worker rebuilds its grid from.
+// It mirrors the dfsweep flag surface: topology, cycle counts, router
+// knobs, and the mechanism × pattern × load × seed axes. Zero fields
+// take the dfsweep defaults, so a minimal submission is just
+// mechanisms + loads.
+//
+// Normalize resolves every default and alternative encoding (load_spec
+// strings, seed_base/seed_count) into explicit fields, so two spellings
+// of the same sweep normalize to the same struct — and therefore the
+// same Fingerprint, which is what the serve job store dedups by.
+type Spec struct {
+	// Kind is the submission type; "sweep" is the default and the only
+	// kind served today (experiment/schedule specs are future work).
+	Kind string `json:"kind,omitempty"`
+
+	// Topology: balanced dragonfly of H (default 3), with optional P/A
+	// overrides and the global-link arrangement.
+	H           int    `json:"h,omitempty"`
+	P           int    `json:"p,omitempty"`
+	A           int    `json:"a,omitempty"`
+	Arrangement string `json:"arrangement,omitempty"`
+
+	Warmup  int64 `json:"warmup,omitempty"`
+	Measure int64 `json:"measure,omitempty"`
+	// SimWorkers is the per-simulation engine worker count. Results are
+	// bit-identical across it, so it is excluded from BaseFingerprint.
+	SimWorkers int `json:"sim_workers,omitempty"`
+
+	Arbitration   string  `json:"arbitration,omitempty"` // see cli.KnownArbitrations
+	InjQueue      int     `json:"inj_queue,omitempty"`
+	Threshold     float64 `json:"threshold,omitempty"`
+	LocalMisroute *bool   `json:"olm,omitempty"`
+	LocalLat      int     `json:"local_lat,omitempty"`
+	GlobalLat     int     `json:"global_lat,omitempty"`
+	LatencyModel  string  `json:"latency_model,omitempty"`
+
+	// The sweep axes. Loads may instead be given as LoadSpec
+	// ("0.05:0.6:0.05", the dfsweep -loads syntax); Seeds may instead be
+	// given as SeedBase+SeedCount. Normalize folds both into the
+	// explicit lists.
+	Mechanisms []string  `json:"mechanisms"`
+	Patterns   []string  `json:"patterns,omitempty"`
+	Loads      []float64 `json:"loads,omitempty"`
+	LoadSpec   string    `json:"load_spec,omitempty"`
+	Seeds      []uint64  `json:"seeds,omitempty"`
+	SeedBase   uint64    `json:"seed_base,omitempty"`
+	SeedCount  int       `json:"seed_count,omitempty"`
+
+	// Reuse is the network-snapshot mode for runners: "off" or
+	// "construct" (the default; bit-identical to off). The approximate
+	// "warm" mode is CLI-only — served results must be exact.
+	Reuse string `json:"reuse,omitempty"`
+}
+
+// Normalize fills defaults, folds alternative encodings into canonical
+// fields, and validates everything a submission endpoint must reject
+// early: unknown mechanism/pattern/arbitration/latency-model names,
+// illegal topologies, empty grids.
+func (s *Spec) Normalize() error {
+	if s.Kind == "" {
+		s.Kind = "sweep"
+	}
+	if s.Kind != "sweep" {
+		return fmt.Errorf("spec: unsupported kind %q (only \"sweep\" is served)", s.Kind)
+	}
+	if s.H == 0 && s.P == 0 && s.A == 0 {
+		s.H = 3
+	}
+	if s.H <= 0 {
+		return fmt.Errorf("spec: h must be positive, got %d", s.H)
+	}
+	topo := topology.Balanced(s.H)
+	if s.P > 0 {
+		topo.P = s.P
+	}
+	if s.A > 0 {
+		topo.A = s.A
+	}
+	s.P, s.A = topo.P, topo.A
+	switch s.Arrangement {
+	case "":
+		s.Arrangement = "palmtree"
+	case "palmtree", "consecutive":
+	default:
+		return fmt.Errorf("spec: unknown arrangement %q", s.Arrangement)
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 3000
+	}
+	if s.Measure == 0 {
+		s.Measure = 6000
+	}
+	if s.Warmup < 0 || s.Measure <= 0 {
+		return fmt.Errorf("spec: cycles must be positive (warmup %d, measure %d)", s.Warmup, s.Measure)
+	}
+	if s.SimWorkers == 0 {
+		s.SimWorkers = 1
+	}
+	if s.Arbitration == "" {
+		s.Arbitration = "transit-priority"
+	}
+	if _, err := cli.ArbitrationByName(s.Arbitration); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if s.InjQueue == 0 {
+		s.InjQueue = 256
+	}
+	if s.Threshold == 0 {
+		s.Threshold = 0.43
+	}
+	if s.LocalMisroute == nil {
+		olm := true
+		s.LocalMisroute = &olm
+	}
+	if s.LocalLat == 0 {
+		s.LocalLat = 10
+	}
+	if s.GlobalLat == 0 {
+		s.GlobalLat = 100
+	}
+	if s.LocalLat <= 0 || s.GlobalLat <= 0 {
+		return fmt.Errorf("spec: link latencies must be positive (local %d, global %d)", s.LocalLat, s.GlobalLat)
+	}
+	if s.LatencyModel == "" {
+		s.LatencyModel = "uniform"
+	}
+	if _, err := topology.LatencyModelByName(s.LatencyModel, s.LocalLat, s.GlobalLat); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+
+	if len(s.Mechanisms) == 0 {
+		return fmt.Errorf("spec: mechanisms must be non-empty")
+	}
+	if len(s.Patterns) == 0 {
+		s.Patterns = []string{"UN"}
+	}
+	if err := cli.ValidateNames(topo, s.Mechanisms, s.Patterns); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if s.LoadSpec != "" {
+		if len(s.Loads) > 0 {
+			return fmt.Errorf("spec: give loads or load_spec, not both")
+		}
+		loads, err := cli.ParseLoads(s.LoadSpec)
+		if err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		s.Loads, s.LoadSpec = loads, ""
+	}
+	if len(s.Loads) == 0 {
+		return fmt.Errorf("spec: loads (or load_spec) must be non-empty")
+	}
+	for i, l := range s.Loads {
+		if l < 0 {
+			return fmt.Errorf("spec: negative load %v", l)
+		}
+		// Canonicalize to the 9 significant digits recordKey treats as one
+		// operating point, so a load reached by range accumulation
+		// (0.1+0.1+0.1) and its literal spelling (0.3) fingerprint alike.
+		s.Loads[i] = canonLoad(l)
+	}
+	// Mechanism and pattern names are case-insensitive everywhere; fold
+	// them so spellings converge to one fingerprint.
+	for i, m := range s.Mechanisms {
+		s.Mechanisms[i] = strings.ToLower(strings.TrimSpace(m))
+	}
+	for i, p := range s.Patterns {
+		s.Patterns[i] = strings.ToUpper(strings.TrimSpace(p))
+	}
+	if len(s.Seeds) == 0 {
+		base := s.SeedBase
+		if base == 0 {
+			base = 1
+		}
+		n := s.SeedCount
+		if n == 0 {
+			n = 1
+		}
+		if n < 0 {
+			return fmt.Errorf("spec: negative seed_count %d", n)
+		}
+		s.Seeds = cli.ParseSeeds(base, n)
+	}
+	s.SeedBase, s.SeedCount = 0, 0
+	switch s.Reuse {
+	case "":
+		s.Reuse = "construct"
+	case "off", "construct":
+	default:
+		return fmt.Errorf("spec: reuse must be off or construct (warm reuse is approximate and CLI-only), got %q", s.Reuse)
+	}
+	return nil
+}
+
+// canonLoad rounds a load to 9 significant digits — the same tolerance
+// the checkpoint record key uses to identify an operating point.
+func canonLoad(l float64) float64 {
+	v, err := strconv.ParseFloat(strconv.FormatFloat(l, 'g', 9, 64), 64)
+	if err != nil {
+		return l
+	}
+	return v
+}
+
+// Config assembles the normalized spec's base sim.Config (the grid
+// substitutes mechanism/pattern/load/seed per point).
+func (s *Spec) Config() (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	topo := topology.Balanced(s.H)
+	topo.P, topo.A = s.P, s.A
+	if s.Arrangement == "consecutive" {
+		topo.Arrangement = topology.Consecutive
+	}
+	cfg.Topology = topo
+	cfg.WarmupCycles = s.Warmup
+	cfg.MeasureCycles = s.Measure
+	cfg.Workers = s.SimWorkers
+	arb, err := cli.ArbitrationByName(s.Arbitration)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Router.Arbitration = arb
+	cfg.Router.InjectionQueuePackets = s.InjQueue
+	cfg.Router.CongestionThreshold = s.Threshold
+	cfg.Routing.CongestionThreshold = s.Threshold
+	cfg.Routing.LocalMisroute = *s.LocalMisroute
+	cfg.Router.LocalLatency = s.LocalLat
+	cfg.Router.GlobalLatency = s.GlobalLat
+	model, err := topology.LatencyModelByName(s.LatencyModel, s.LocalLat, s.GlobalLat)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.LatencyModel = model
+	return cfg, nil
+}
+
+// Grid expands the normalized spec into its sweep grid. Each call builds
+// a fresh snapshot cache (when reuse is on), so concurrent runners never
+// share mutable state through the spec.
+func (s *Spec) Grid() (sweep.Grid, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	g := sweep.Grid{
+		Base:       cfg,
+		Mechanisms: s.Mechanisms,
+		Patterns:   s.Patterns,
+		Loads:      s.Loads,
+		Seeds:      s.Seeds,
+	}
+	if s.Reuse == "construct" {
+		g.Snapshots = &sweep.SnapshotCache{Mode: sweep.ReuseConstruct}
+	}
+	return g, nil
+}
+
+// specHash is the canonical digest of a normalized spec.
+func specHash(s Spec) (string, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// Fingerprint is the job identity: the digest of the whole normalized
+// spec. Two submissions that normalize identically — whatever their
+// spelling — get the same fingerprint, which is the serve store's
+// job-level dedup key.
+func (s Spec) Fingerprint() (string, error) {
+	ns := s
+	if err := ns.Normalize(); err != nil {
+		return "", err
+	}
+	return specHash(ns)
+}
+
+// BaseFingerprint digests everything that shapes one point's result:
+// the normalized spec minus the grid axes and minus the knobs results
+// are bit-identical across (engine workers, construction reuse). Jobs
+// sharing it share a checkpoint namespace, so partially-overlapping
+// grids restore their common points instead of re-running them.
+func (s Spec) BaseFingerprint() (string, error) {
+	ns := s
+	if err := ns.Normalize(); err != nil {
+		return "", err
+	}
+	ns.Mechanisms, ns.Patterns, ns.Loads, ns.Seeds = nil, nil, nil, nil
+	ns.SimWorkers = 0
+	ns.Reuse = ""
+	return specHash(ns)
+}
+
+// CanonicalJSON returns the normalized spec marshaled canonically — the
+// form the store journals and serves to workers.
+func (s Spec) CanonicalJSON() (json.RawMessage, error) {
+	ns := s
+	if err := ns.Normalize(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(ns)
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two spellings of the same sweep must normalize to the same spec and
+// the same fingerprint — the dedup key the serve store relies on.
+func TestSpecFingerprintConvergesSpellings(t *testing.T) {
+	explicit := Spec{
+		Mechanisms: []string{"MIN"},
+		Loads:      []float64{0.1, 0.2, 0.3},
+		Seeds:      []uint64{1, 2, 3},
+	}
+	spelled := Spec{
+		Mechanisms: []string{"MIN"},
+		LoadSpec:   "0.1:0.3:0.1",
+		SeedBase:   1,
+		SeedCount:  3,
+	}
+	fp1, err := explicit.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := spelled.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("spellings diverge: %s vs %s", fp1, fp2)
+	}
+	// Defaults spelled out explicitly, and names in a different case,
+	// converge too.
+	verbose := Spec{
+		Kind:        "sweep",
+		H:           3,
+		Mechanisms:  []string{"min"},
+		Patterns:    []string{"un"},
+		Loads:       []float64{0.1, 0.2, 0.3},
+		Seeds:       []uint64{1, 2, 3},
+		Arbitration: "transit-priority",
+	}
+	fp3, err := verbose.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 != fp1 {
+		t.Fatalf("explicit defaults diverge: %s vs %s", fp3, fp1)
+	}
+}
+
+// A genuinely different sweep must not collide.
+func TestSpecFingerprintSeparates(t *testing.T) {
+	a := Spec{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}}
+	b := Spec{Mechanisms: []string{"Obl-RRG"}, Loads: []float64{0.1}}
+	fpA, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA == fpB {
+		t.Fatal("different mechanisms share a fingerprint")
+	}
+}
+
+// BaseFingerprint ignores the grid axes and the bit-identical knobs
+// (engine workers, construct reuse) but tracks everything that changes a
+// point's result.
+func TestSpecBaseFingerprint(t *testing.T) {
+	base := Spec{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}}
+	bfp, err := base.BaseFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := []Spec{
+		{Mechanisms: []string{"Obl-RRG", "MIN"}, Loads: []float64{0.3, 0.4}, Seeds: []uint64{7}},
+		{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, SimWorkers: 4},
+		{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, Reuse: "off"},
+	}
+	for i, s := range same {
+		got, err := s.BaseFingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != bfp {
+			t.Fatalf("spec %d should share the base fingerprint", i)
+		}
+	}
+
+	different := []Spec{
+		{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, H: 4},
+		{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, Warmup: 500},
+		{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, Arbitration: "round-robin"},
+		{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, Threshold: 0.5},
+	}
+	for i, s := range different {
+		got, err := s.BaseFingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == bfp {
+			t.Fatalf("spec %d must not share the base fingerprint", i)
+		}
+	}
+}
+
+func TestSpecNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"no mechanisms", Spec{Loads: []float64{0.1}}, "mechanisms"},
+		{"no loads", Spec{Mechanisms: []string{"MIN"}}, "loads"},
+		{"unknown mechanism", Spec{Mechanisms: []string{"teleport"}, Loads: []float64{0.1}}, "teleport"},
+		{"unknown pattern", Spec{Mechanisms: []string{"MIN"}, Patterns: []string{"XX"}, Loads: []float64{0.1}}, "XX"},
+		{"unknown kind", Spec{Kind: "schedule", Mechanisms: []string{"MIN"}, Loads: []float64{0.1}}, "kind"},
+		{"unknown arbitration", Spec{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, Arbitration: "coin-flip"}, "arbitration"},
+		{"warm reuse", Spec{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, Reuse: "warm"}, "reuse"},
+		{"both load spellings", Spec{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, LoadSpec: "0.1:0.2:0.1"}, "not both"},
+		{"negative load", Spec{Mechanisms: []string{"MIN"}, Loads: []float64{-0.1}}, "negative"},
+		{"bad arrangement", Spec{Mechanisms: []string{"MIN"}, Loads: []float64{0.1}, Arrangement: "spiral"}, "arrangement"},
+	}
+	for _, tc := range cases {
+		s := tc.spec
+		err := s.Normalize()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: unhelpful error: %v", tc.name, err)
+		}
+	}
+}
+
+// Grid expansion honors the normalized axes, and the grid's base config
+// reflects the spec's knobs.
+func TestSpecGrid(t *testing.T) {
+	s := Spec{
+		Mechanisms: []string{"MIN", "Obl-RRG"},
+		LoadSpec:   "0.1:0.2:0.1",
+		SeedCount:  2,
+		Warmup:     100,
+		Measure:    200,
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Points()); got != 2*1*2*2 {
+		t.Fatalf("grid has %d points", got)
+	}
+	if g.Base.WarmupCycles != 100 || g.Base.MeasureCycles != 200 {
+		t.Fatalf("base config cycles = %d/%d", g.Base.WarmupCycles, g.Base.MeasureCycles)
+	}
+	if g.Snapshots == nil {
+		t.Fatal("construct reuse (the default) did not attach a snapshot cache")
+	}
+	// Each Grid() call builds a fresh cache: concurrent runners must not
+	// share mutable state through the spec.
+	g2, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Snapshots == g2.Snapshots {
+		t.Fatal("Grid() calls share a snapshot cache")
+	}
+}
+
+// Normalization is idempotent: a canonical spec round-trips to the same
+// fingerprint.
+func TestSpecNormalizeIdempotent(t *testing.T) {
+	s := Spec{Mechanisms: []string{"MIN"}, LoadSpec: "0.1:0.2:0.1", SeedCount: 2}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatal("normalization is not idempotent")
+	}
+}

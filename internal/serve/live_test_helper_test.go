@@ -1,0 +1,11 @@
+package serve
+
+import "dragonfly/internal/telemetry"
+
+// newLiveForTest builds an accumulator with a little progress on it.
+func newLiveForTest() *telemetry.Live {
+	l := telemetry.NewLive()
+	l.SetTotal(5)
+	l.NotePoint("t", 1, 1, false)
+	return l
+}

@@ -23,8 +23,19 @@ import (
 // are bit-identical whether the run was interrupted zero or ten times, and
 // whatever the worker count.
 
+// SchemaVersion is the version of the Record / checkpoint JSONL schema.
+// Records now travel between hosts (the serve job store exchanges them
+// with dfserved workers over HTTP), so every record and checkpoint meta
+// line carries the schema it was written under, and loads reject a
+// mismatch instead of silently misreading foreign fields. Bump this when
+// a Record field changes meaning. Version 2 introduced the field itself;
+// files from before it (schema 0) are rejected the same way.
+const SchemaVersion = 2
+
 // Record is the checkpointable outcome of one simulation point.
 type Record struct {
+	// Schema is the SchemaVersion the record was written under.
+	Schema int `json:"schema,omitempty"`
 	// Task names the owning pipeline task (e.g. "fig2a"); part of the
 	// resume key so the same point may appear under two figures.
 	Task string `json:"task,omitempty"`
@@ -66,7 +77,7 @@ type Record struct {
 // becomes an error record, so salvaging partial sweep output through
 // Aggregate reports the gap instead of panicking on the missing result.
 func RecordOf(task string, s Sample) Record {
-	rec := Record{Task: task, Point: s.Point, Reuse: s.Reuse}
+	rec := Record{Schema: SchemaVersion, Task: task, Point: s.Point, Reuse: s.Reuse}
 	if s.Err != nil {
 		rec.Err = s.Err.Error()
 		return rec
@@ -176,9 +187,11 @@ func AggregateRecords(records []Record) ([]Series, error) {
 
 // ckptMeta is the first line of a checkpoint file: a fingerprint of the
 // configuration that produced it, so a stale checkpoint is rejected
-// instead of silently mixing runs from two different setups.
+// instead of silently mixing runs from two different setups, plus the
+// record schema version the file was written under.
 type ckptMeta struct {
-	Meta string `json:"meta"`
+	Meta   string `json:"meta"`
+	Schema int    `json:"schema,omitempty"`
 }
 
 // Checkpoint is an append-only JSONL store of completed records, safe for
@@ -231,12 +244,20 @@ func OpenCheckpoint(path, meta string) (*Checkpoint, error) {
 				if m.Meta != meta {
 					return nil, fmt.Errorf("sweep: checkpoint %s was produced by a different configuration (%s, want %s) — delete it to start over", path, m.Meta, meta)
 				}
+				if m.Schema != SchemaVersion {
+					return nil, fmt.Errorf("sweep: checkpoint %s uses record schema %d, this binary speaks %d — delete it to start over", path, m.Schema, SchemaVersion)
+				}
 				off, valid = next, next
 				continue
 			}
 			var rec Record
 			if err := json.Unmarshal(line, &rec); err != nil {
 				break // torn mid-line write; drop it and the rest
+			}
+			if rec.Schema != SchemaVersion {
+				// A well-formed record under the wrong schema is a real
+				// mismatch, not a torn tail: refuse the file.
+				return nil, fmt.Errorf("sweep: checkpoint %s holds a schema-%d record, this binary speaks %d — delete it to start over", path, rec.Schema, SchemaVersion)
 			}
 			c.done[rec.Key()] = rec
 			off, valid = next, next
@@ -260,7 +281,7 @@ func OpenCheckpoint(path, meta string) (*Checkpoint, error) {
 	c.w = bufio.NewWriter(f)
 	if len(c.done) == 0 {
 		if st, err := f.Stat(); err == nil && st.Size() == 0 {
-			if err := c.writeLine(ckptMeta{Meta: meta}); err != nil {
+			if err := c.writeLine(ckptMeta{Meta: meta, Schema: SchemaVersion}); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -310,6 +331,7 @@ func (c *Checkpoint) Put(rec Record) error {
 	if c == nil {
 		return nil
 	}
+	rec.Schema = SchemaVersion
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.done[rec.Key()]; dup {

@@ -91,6 +91,76 @@ func TestCheckpointMetaMismatch(t *testing.T) {
 	}
 }
 
+// A checkpoint written under a different record schema must be rejected
+// at load: records travel between hosts now, and misreading a foreign
+// layout would silently corrupt served results.
+func TestCheckpointSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if err := os.WriteFile(path, []byte(`{"meta":"cfg","schema":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, "cfg"); err == nil {
+		t.Fatal("old-schema checkpoint accepted")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// Pre-versioning files (no schema field at all = schema 0) are
+	// rejected the same way.
+	if err := os.WriteFile(path, []byte(`{"meta":"cfg"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, "cfg"); err == nil {
+		t.Fatal("pre-versioning checkpoint accepted")
+	}
+}
+
+// A well-formed record under the wrong schema is a version mismatch, not
+// a torn tail: the file must be refused, never truncated.
+func TestCheckpointSchemaMismatchRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	content := `{"meta":"cfg","schema":2}` + "\n" +
+		`{"schema":1,"task":"f","point":{"Mechanism":"MIN","Pattern":"UN","Load":0.1,"Seed":1},"mechanism":"MIN","pattern":"UN","throughput":0.5,"avg_latency":1,"breakdown":{}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, "cfg"); err == nil {
+		t.Fatal("mixed-schema record accepted")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != content {
+		t.Fatal("schema mismatch truncated the file as if it were a torn tail")
+	}
+}
+
+// Freshly written checkpoints stamp the current schema on the meta line
+// and on every record.
+func TestCheckpointWritesSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Task: "f", Point: Point{Mechanism: "MIN", Pattern: "UN", Load: 0.1, Seed: 1}}
+	if err := ck.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if !strings.Contains(line, `"schema":2`) {
+			t.Fatalf("line %d lacks the schema stamp: %s", i, line)
+		}
+	}
+}
+
 // A torn trailing line (kill mid-write) must not lose the complete records
 // before it.
 func TestCheckpointTornTail(t *testing.T) {

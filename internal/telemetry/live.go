@@ -1,26 +1,19 @@
 package telemetry
 
 import (
-	"encoding/json"
-	"expvar"
-	"fmt"
-	"net"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
 )
 
-// Live is the opt-in HTTP/expvar introspection endpoint for long runs —
-// the seed of the roadmap's dfserved. It aggregates whatever its host
-// process feeds it (pipeline progress, per-task timings, probe samples)
-// and serves JSON snapshots:
-//
-//	/             endpoint index (text)
-//	/api/progress pool progress: done/total points, restored, elapsed
-//	/api/tasks    per-task point counts and wall/CPU time, slowest first
-//	/api/probes   the most recent probe sample (when probes feed it)
-//	/debug/vars   the standard expvar dump, including the above
+// Live is the shared accumulator behind the live-introspection endpoints
+// (/api/progress, /api/tasks, /api/probes). It aggregates whatever its
+// host process feeds it — pipeline progress, per-task timings, probe
+// samples — and hands out JSON-ready snapshots through exported
+// accessors. The HTTP surface itself is defined once, in internal/serve
+// (serve.LiveRoutes), and shared by dfserved and dfexperiments -listen;
+// this type stays transport-free so the telemetry layer never grows a
+// second copy of the endpoints.
 //
 // All methods are safe for concurrent use; feeding is cheap (a mutex and
 // a few scalars), so progress callbacks can call it unconditionally.
@@ -44,7 +37,8 @@ type TaskTiming struct {
 	CPUSeconds  float64 `json:"cpu_seconds"`
 }
 
-// NewLive builds an endpoint; the clock for /api/progress starts now.
+// NewLive builds an accumulator; the clock for ProgressSnapshot starts
+// now.
 func NewLive() *Live {
 	return &Live{start: time.Now(), tasks: make(map[string]*TaskTiming)}
 }
@@ -54,6 +48,14 @@ func (l *Live) SetTotal(total int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.total = total
+}
+
+// AddTotal grows the total point count — long-running daemons accept
+// work incrementally rather than knowing it all up front.
+func (l *Live) AddTotal(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total += n
 }
 
 // NotePoint records one completed (or checkpoint-restored) point of a task
@@ -84,8 +86,19 @@ func (l *Live) setProbe(data []byte) {
 	l.probe = append(l.probe[:0], data...)
 }
 
-// progressSnapshot is the /api/progress document.
-type progressSnapshot struct {
+// ProbeSample returns a copy of the most recent probe sample line (nil
+// when no probe has fed the accumulator yet).
+func (l *Live) ProbeSample() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.probe) == 0 {
+		return nil
+	}
+	return append([]byte(nil), l.probe...)
+}
+
+// ProgressSnapshot is the /api/progress document.
+type ProgressSnapshot struct {
 	Task           string  `json:"task"`
 	Done           int     `json:"done"`
 	Total          int     `json:"total"`
@@ -93,10 +106,11 @@ type progressSnapshot struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
-func (l *Live) progress() progressSnapshot {
+// Progress returns the current progress snapshot.
+func (l *Live) Progress() ProgressSnapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return progressSnapshot{
+	return ProgressSnapshot{
 		Task:           l.task,
 		Done:           l.done,
 		Total:          l.total,
@@ -121,63 +135,4 @@ func (l *Live) Timings() []TaskTiming {
 		return out[i].Task < out[j].Task
 	})
 	return out
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
-}
-
-// Handler returns the endpoint's HTTP handler.
-func (l *Live) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprint(w, "dragonfly live endpoint\n\n/api/progress\n/api/tasks\n/api/probes\n/debug/vars\n")
-	})
-	mux.HandleFunc("/api/progress", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, l.progress())
-	})
-	mux.HandleFunc("/api/tasks", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, l.Timings())
-	})
-	mux.HandleFunc("/api/probes", func(w http.ResponseWriter, _ *http.Request) {
-		l.mu.Lock()
-		data := append([]byte(nil), l.probe...)
-		l.mu.Unlock()
-		if len(data) == 0 {
-			http.Error(w, `{"error":"no probe sample yet"}`, http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(data) //nolint:errcheck
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	return mux
-}
-
-// expvarOnce guards the process-wide expvar name (Publish panics on
-// duplicates; tests may build several Lives).
-var expvarOnce sync.Once
-
-// Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves the endpoint
-// in a background goroutine for the life of the process. It returns the
-// bound address, so ":0" callers can print the actual port. The progress
-// snapshot is also published as the expvar "dragonfly.live".
-func (l *Live) Serve(addr string) (net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	expvarOnce.Do(func() {
-		expvar.Publish("dragonfly.live", expvar.Func(func() any { return l.progress() }))
-	})
-	srv := &http.Server{Handler: l.Handler()}
-	go srv.Serve(ln) //nolint:errcheck // runs until process exit
-	return ln.Addr(), nil
 }

@@ -1,91 +1,50 @@
 package telemetry
 
-import (
-	"encoding/json"
-	"net/http"
-	"net/http/httptest"
-	"testing"
-)
+import "testing"
 
-func getJSON(t *testing.T, srv *httptest.Server, path string, v any) *http.Response {
-	t.Helper()
-	resp, err := srv.Client().Get(srv.URL + path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if v != nil && resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-			t.Fatalf("%s: bad JSON: %v", path, err)
-		}
-	}
-	return resp
-}
+// The HTTP surface over Live lives in internal/serve (LiveRoutes) and is
+// tested there; these tests cover the accumulator itself.
 
-func TestLiveEndpoint(t *testing.T) {
+func TestLiveAccumulates(t *testing.T) {
 	l := NewLive()
 	l.SetTotal(10)
 	l.NotePoint("fig2a", 2.0, 3.0, false)
 	l.NotePoint("fig2a", 1.5, 2.5, false)
 	l.NotePoint("fig4", 0.0, 0.0, true)
 
-	srv := httptest.NewServer(l.Handler())
-	defer srv.Close()
-
-	var prog struct {
-		Task     string `json:"task"`
-		Done     int    `json:"done"`
-		Total    int    `json:"total"`
-		Restored int    `json:"restored"`
-	}
-	getJSON(t, srv, "/api/progress", &prog)
+	prog := l.Progress()
 	if prog.Task != "fig4" || prog.Done != 3 || prog.Total != 10 || prog.Restored != 1 {
 		t.Fatalf("progress = %+v", prog)
 	}
 
-	var tasks []TaskTiming
-	getJSON(t, srv, "/api/tasks", &tasks)
+	l.AddTotal(5)
+	if got := l.Progress().Total; got != 15 {
+		t.Fatalf("total after AddTotal = %d, want 15", got)
+	}
+
+	tasks := l.Timings()
 	if len(tasks) != 2 || tasks[0].Task != "fig2a" || tasks[0].Points != 2 {
 		t.Fatalf("tasks = %+v", tasks)
 	}
 	if tasks[0].WallSeconds != 3.5 || tasks[0].CPUSeconds != 5.5 {
 		t.Fatalf("fig2a timing = %+v", tasks[0])
 	}
+}
 
-	// No probe sample yet: 404. After a probe feeds it: the raw sample.
-	if resp := getJSON(t, srv, "/api/probes", nil); resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("probes before any sample: status %d, want 404", resp.StatusCode)
+func TestLiveProbeSample(t *testing.T) {
+	l := NewLive()
+	if got := l.ProbeSample(); got != nil {
+		t.Fatalf("sample before any probe = %q, want nil", got)
 	}
 	p := NewProbes(ProbeConfig{Every: 50, Live: l})
 	p.Observe(0, newFakeSource())
-	var sample struct {
-		Cycle *int64 `json:"cycle"`
+	sample := l.ProbeSample()
+	if len(sample) == 0 {
+		t.Fatal("no sample after Observe")
 	}
-	if resp := getJSON(t, srv, "/api/probes", &sample); resp.StatusCode != http.StatusOK {
-		t.Fatalf("probes after sample: status %d", resp.StatusCode)
-	}
-	if sample.Cycle == nil || *sample.Cycle != 0 {
-		t.Fatalf("probe sample = %+v", sample)
-	}
-
-	// The index lists endpoints; unknown paths 404.
-	if resp := getJSON(t, srv, "/nope", nil); resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
-	}
-}
-
-func TestLiveServeBindsEphemeralPort(t *testing.T) {
-	l := NewLive()
-	addr, err := l.Serve("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Get("http://" + addr.String() + "/api/progress")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+	// The copy must be detached from the accumulator's buffer.
+	sample[0] = 'X'
+	if s2 := l.ProbeSample(); s2[0] == 'X' {
+		t.Fatal("ProbeSample returned an aliased buffer")
 	}
 }

@@ -1,7 +1,8 @@
 // Package telemetry is the simulator's observability layer: per-cycle
 // probes sampled over the live router state, a sampled worker-safe packet
-// tracer with a Perfetto/Chrome-trace exporter, and a live HTTP/expvar
-// introspection endpoint for long pipeline runs.
+// tracer with a Perfetto/Chrome-trace exporter, and the Live accumulator
+// behind the introspection endpoints that internal/serve exposes over
+// HTTP/expvar for long pipeline runs.
 //
 // The package defines the data model (Shape, Snapshot, the Summary merged
 // into results) and the machinery that turns samples into bounded output;
